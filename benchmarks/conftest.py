@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures on a
+scaled-down message budget (the paper streams up to 128K messages per run on
+real hardware; the simulated benches default to a few hundred per point so
+the whole suite finishes in about a minute).  Set ``REPRO_BENCH_MESSAGES``
+to raise the per-producer message budget, and ``REPRO_BENCH_RUNS`` to
+average more runs per point, when more fidelity is wanted.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: Per-producer message budget used by the figure benches.
+BENCH_MESSAGES = int(os.environ.get("REPRO_BENCH_MESSAGES", "25"))
+#: Runs averaged per experiment point.
+BENCH_RUNS = int(os.environ.get("REPRO_BENCH_RUNS", "1"))
+#: Consumer counts on the x axis (the paper's 1-64 powers of two).
+BENCH_CONSUMER_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+#: Root seed for all benches.
+BENCH_SEED = 1
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run a whole-figure regeneration exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def bench_settings():
+    """Expose the shared benchmark scale settings to the benches."""
+    return {
+        "messages": BENCH_MESSAGES,
+        "runs": BENCH_RUNS,
+        "consumer_counts": BENCH_CONSUMER_COUNTS,
+        "seed": BENCH_SEED,
+    }

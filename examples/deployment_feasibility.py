@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Deployment feasibility walkthrough: what it takes to stand each architecture up.
+
+Performance is only half of the paper's comparison; the other half (§2, §4,
+§6) is the operational story: firewall pinholes, NodePorts, DNS entries,
+control-plane steps and multi-user scalability.  This example deploys each
+architecture's control plane on the emulated testbed and prints the derived
+comparison, then walks through the MSS provisioning flow (S3M token +
+provision_cluster) and the PRS SciStream session establishment.
+
+Run with::
+
+    python examples/deployment_feasibility.py
+"""
+
+from __future__ import annotations
+
+from repro.architectures import MSSArchitecture, PRSArchitecture, Testbed, TestbedConfig
+from repro.core import architecture_comparison_text
+from repro.simkit import Environment
+
+
+def show_comparison() -> None:
+    print(architecture_comparison_text(
+        ["DTS", "PRS(Stunnel)", "PRS(HAProxy)", "MSS"],
+        testbed_config=TestbedConfig(producer_nodes=2, consumer_nodes=2)))
+
+
+def walk_through_mss_provisioning() -> None:
+    print("\n== MSS provisioning flow (S3M Streaming API) ==")
+    env = Environment()
+    testbed = Testbed(env, TestbedConfig(producer_nodes=2, consumer_nodes=2))
+    mss = MSSArchitecture(testbed)
+    env.run(until=env.process(mss.deploy()))
+    result = mss.provision_result
+    print(f"  token-authenticated request provisioned {result.nodes} broker nodes "
+          f"in {env.now:.1f} s of simulated time")
+    print(f"  clients connect to: {result.url}")
+    print(f"  ingress routes {result.hostname} -> "
+          f"{[b.host for b in testbed.ingress.route_controller.backends(result.hostname)]}")
+
+
+def walk_through_prs_session() -> None:
+    print("\n== PRS session establishment (SciStream S2UC flow) ==")
+    env = Environment()
+    testbed = Testbed(env, TestbedConfig(producer_nodes=2, consumer_nodes=2))
+    prs = PRSArchitecture(testbed, proxy_type="haproxy")
+    env.run(until=env.process(prs.deploy()))
+    session = prs.session.describe()
+    print(f"  session UID           : {session['uid']}")
+    print(f"  producer-side proxy   : {session['producer_gateway']} "
+          f"ports {session['producer_ports']}")
+    print(f"  consumer-side proxy   : {session['consumer_gateway']} "
+          f"ports {session['consumer_ports']}")
+    print(f"  target service ports  : {session['target_ports']}")
+    print(f"  established after     : {env.now:.2f} s of simulated time")
+
+
+def main() -> None:
+    show_comparison()
+    walk_through_mss_provisioning()
+    walk_through_prs_session()
+
+
+if __name__ == "__main__":
+    main()

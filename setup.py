@@ -1,0 +1,12 @@
+"""Setup shim so legacy (non-PEP-517) editable installs work offline.
+
+The environment has no ``wheel`` package, which breaks
+``pip install -e .`` through the PEP 517 build path; this shim lets
+``pip install -e . --no-build-isolation --no-use-pep517`` (or plain
+``python setup.py develop``) work instead.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""repro — reproduction of *From Edge to HPC: Investigating Cross-Facility
+Data Streaming Architectures* (INDIS / SC 2025).
+
+The package is organised bottom-up:
+
+* :mod:`repro.simkit` — discrete-event simulation engine.
+* :mod:`repro.netsim` — network substrate (links, nodes, TLS, NAT, DNS).
+* :mod:`repro.cluster` — facility substrate (OpenShift, DSNs, load balancer,
+  compute nodes).
+* :mod:`repro.amqp` — RabbitMQ-like streaming service.
+* :mod:`repro.scistream` — SciStream-like memory-to-memory proxy toolkit.
+* :mod:`repro.architectures` — the paper's DTS / PRS / MSS architectures.
+* :mod:`repro.workloads` — Table 1 workloads (Dstream, Lstream, Generic).
+* :mod:`repro.patterns` — work sharing, work sharing with feedback,
+  broadcast and gather.
+* :mod:`repro.harness` — StreamSim-equivalent experiment driver.
+* :mod:`repro.metrics` — throughput / RTT / overhead statistics.
+* :mod:`repro.core` — the comparative-study API and the Figure 4–8 /
+  Table 1 data generators.
+
+Most users only need :func:`repro.core.run_experiment`,
+:func:`repro.core.compare_architectures` and the ``figure*``/``table*``
+helpers in :mod:`repro.core.figures`.
+"""
+
+from ._version import __version__
+
+__all__ = ["__version__"]

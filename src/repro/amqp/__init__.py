@@ -1,0 +1,42 @@
+"""RabbitMQ-like streaming service substrate.
+
+Implements the messaging behaviour the paper configures on its three-node
+RabbitMQ cluster: AMQP-style exchanges and bindings, classic queues with
+``reject-publish`` overflow, per-consumer prefetch, batch acknowledgements,
+publisher confirms, broker memory budgets and inter-broker relays.
+"""
+
+from .broker import Broker
+from .client import ConsumerClient, ProducerClient
+from .cluster import BrokerCluster
+from .exchange import Binding, Exchange, ExchangeType
+from .policies import (
+    DEFAULT_ACK_POLICY,
+    DEFAULT_MEMORY_POLICY,
+    DEFAULT_QUEUE_POLICY,
+    AckPolicy,
+    MemoryPolicy,
+    OverflowPolicy,
+    QueuePolicy,
+)
+from .queue import ClassicQueue, ConsumerHandle, PublishOutcome
+
+__all__ = [
+    "Broker",
+    "BrokerCluster",
+    "ProducerClient",
+    "ConsumerClient",
+    "Exchange",
+    "ExchangeType",
+    "Binding",
+    "ClassicQueue",
+    "ConsumerHandle",
+    "PublishOutcome",
+    "AckPolicy",
+    "MemoryPolicy",
+    "OverflowPolicy",
+    "QueuePolicy",
+    "DEFAULT_ACK_POLICY",
+    "DEFAULT_MEMORY_POLICY",
+    "DEFAULT_QUEUE_POLICY",
+]

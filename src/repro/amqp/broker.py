@@ -1,0 +1,146 @@
+"""A single RabbitMQ-like broker node.
+
+A :class:`Broker` is the messaging software running on one Data Streaming
+Node: it owns exchanges and the queues whose *leader* lives on this node,
+routes published messages to queues, and enforces the node-level memory
+budget (80 % of RAM for payload queues, 20 % for control queues, §5.2).
+
+CPU cost for moving bytes in and out of the broker host is accounted on the
+data path (the host :class:`~repro.netsim.node.NetworkNode` is a stage of
+every producer/consumer connection); the broker adds only the bookkeeping
+costs that are specific to the messaging layer (routing, queue index
+updates, optional durability write).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..simkit import Environment, Monitor
+from ..netsim.message import Message
+from ..netsim.node import NetworkNode
+from .exchange import Exchange, ExchangeType
+from .policies import (
+    DEFAULT_MEMORY_POLICY,
+    DEFAULT_QUEUE_POLICY,
+    MemoryPolicy,
+    QueuePolicy,
+)
+from .queue import ClassicQueue, PublishOutcome
+
+__all__ = ["Broker"]
+
+
+class Broker:
+    """The messaging software instance hosted on one DSN."""
+
+    #: Fixed routing/bookkeeping cost per publish operation (s).
+    publish_overhead_s = 30e-6
+    #: Extra cost per publish when the destination queue is durable (s).
+    durability_overhead_s = 50e-6
+
+    def __init__(self, env: Environment, name: str, host: NetworkNode, *,
+                 memory_policy: MemoryPolicy = DEFAULT_MEMORY_POLICY,
+                 monitor: Optional[Monitor] = None) -> None:
+        self.env = env
+        self.name = name
+        self.host = host
+        self.memory_policy = memory_policy
+        self.monitor = monitor or Monitor(f"broker:{name}")
+        self.exchanges: dict[str, Exchange] = {}
+        self.queues: dict[str, ClassicQueue] = {}
+        # Default exchange ("") routes directly to the queue named by the key.
+        self.declare_exchange("", ExchangeType.DIRECT)
+
+    # -- declarations -----------------------------------------------------
+    def declare_exchange(self, name: str,
+                         type: ExchangeType = ExchangeType.DIRECT) -> Exchange:
+        exchange = self.exchanges.get(name)
+        if exchange is None:
+            exchange = Exchange(name, type)
+            self.exchanges[name] = exchange
+        elif exchange.type is not type:
+            raise ValueError(
+                f"exchange {name!r} already declared as {exchange.type.value}")
+        return exchange
+
+    def declare_queue(self, name: str, *,
+                      policy: QueuePolicy = DEFAULT_QUEUE_POLICY,
+                      is_control: bool = False) -> ClassicQueue:
+        queue = self.queues.get(name)
+        if queue is None:
+            queue = ClassicQueue(self.env, name, policy=policy,
+                                 is_control=is_control)
+            self.queues[name] = queue
+            # The default exchange binds every queue by its own name.
+            self.exchanges[""].bind(queue, name)
+        return queue
+
+    def bind_queue(self, exchange_name: str, queue_name: str,
+                   binding_key: str = "") -> None:
+        exchange = self.exchanges[exchange_name]
+        queue = self.queues[queue_name]
+        exchange.bind(queue, binding_key)
+
+    # -- memory accounting --------------------------------------------------
+    def memory_used(self, *, control: bool = False) -> float:
+        return sum(q.ready_bytes for q in self.queues.values()
+                   if q.is_control == control)
+
+    def memory_available(self, *, control: bool = False) -> float:
+        return self.memory_policy.budget_for(control) - self.memory_used(control=control)
+
+    def memory_pressure(self) -> bool:
+        """True when the payload-queue budget is exhausted."""
+        return self.memory_available(control=False) <= 0
+
+    # -- data plane -----------------------------------------------------------
+    def route(self, exchange_name: str, routing_key: str) -> list[str]:
+        exchange = self.exchanges.get(exchange_name)
+        if exchange is None:
+            raise KeyError(f"unknown exchange {exchange_name!r}")
+        return exchange.route(routing_key)
+
+    def publish_local(self, message: Message, exchange_name: str,
+                      routing_key: str) -> Generator:
+        """Simulation process: route and enqueue a message on this broker.
+
+        Returns the list of :class:`PublishOutcome` (one per matched queue);
+        an empty list means the routing key matched no queue (the AMQP
+        'unroutable' case).
+        """
+        overhead = self.publish_overhead_s
+        queue_names = self.route(exchange_name, routing_key)
+        outcomes: list[PublishOutcome] = []
+        for queue_name in queue_names:
+            queue = self.queues.get(queue_name)
+            if queue is None:
+                continue
+            if queue.policy.durable:
+                overhead += self.durability_overhead_s
+            if not queue.is_control and self.memory_pressure():
+                outcomes.append(PublishOutcome(False, "memory-watermark", queue_name))
+                self.monitor.count("blocked_publishes")
+                continue
+            outcomes.append(queue.publish(message))
+        yield self.env.timeout(overhead)
+        self.monitor.count("publishes")
+        if not queue_names:
+            self.monitor.count("unroutable")
+        return outcomes
+
+    # -- reporting -----------------------------------------------------------
+    def queue_depths(self) -> dict[str, int]:
+        return {name: queue.depth for name, queue in self.queues.items()}
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "host": self.host.name,
+            "exchanges": sorted(self.exchanges),
+            "queues": sorted(self.queues),
+            "memory_used_bytes": self.memory_used(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Broker {self.name} host={self.host.name} queues={len(self.queues)}>"

@@ -1,0 +1,201 @@
+"""AMQP client façade: producers and consumers as seen by applications.
+
+These classes play the role of the ``amqp091-go`` client library used by the
+paper's Go simulator: they hide connection management, publisher confirms,
+prefetch credit and batch acknowledgements behind a small API that the
+harness' producer/consumer processes drive.
+
+* :class:`ProducerClient.publish` sends one message: it traverses the
+  producer-side network path (its :class:`~repro.netsim.connection.Connection`),
+  asks the cluster to route/enqueue it, honours ``reject-publish``
+  backpressure by backing off and republishing, and pays a confirm
+  round-trip every ``publisher_batch`` messages.
+* :class:`ConsumerClient` subscribes to queues.  The queue dispatcher calls
+  the client's *deliver* generator, which carries the message across the
+  consumer-side network path and deposits it in the client's mailbox; the
+  application then takes messages out of the mailbox and acknowledges them
+  (cumulatively every ``consumer_batch`` messages).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Generator, Optional
+
+from ..simkit import Environment, Monitor, Store
+from ..netsim.connection import Connection
+from ..netsim.link import Link
+from ..netsim.message import Message
+from .broker import Broker
+from .cluster import BrokerCluster
+from .policies import DEFAULT_ACK_POLICY, AckPolicy
+
+__all__ = ["ProducerClient", "ConsumerClient"]
+
+_consumer_tags = itertools.count()
+
+
+def _path_rtt(connection: Connection) -> float:
+    """Round-trip propagation estimate along a connection (for ack/confirm)."""
+    one_way = sum(stage.latency_s for stage in connection.stages
+                  if isinstance(stage, Link))
+    return 2.0 * one_way
+
+
+class ProducerClient:
+    """Publishing side of the streaming service."""
+
+    def __init__(self, env: Environment, name: str, *,
+                 cluster: BrokerCluster,
+                 connection: Connection,
+                 broker: Optional[Broker] = None,
+                 ack_policy: AckPolicy = DEFAULT_ACK_POLICY,
+                 reject_backoff_s: float = 0.005,
+                 max_retries: int = 50) -> None:
+        self.env = env
+        self.name = name
+        self.cluster = cluster
+        self.connection = connection
+        self.broker = broker or cluster.assign_client_broker()
+        self.ack_policy = ack_policy
+        self.reject_backoff_s = float(reject_backoff_s)
+        self.max_retries = int(max_retries)
+        self.monitor = Monitor(f"producer:{name}")
+        self._unconfirmed = 0
+        self.published = 0
+        self.rejected = 0
+
+    def publish(self, message: Message, *, exchange: str = "",
+                routing_key: Optional[str] = None) -> Generator:
+        """Simulation process: publish one message (with retry on reject).
+
+        Returns ``True`` if the message was eventually accepted by every
+        destination queue, ``False`` if retries were exhausted or the message
+        was unroutable.
+        """
+        key = routing_key if routing_key is not None else message.routing_key
+        message.routing_key = key
+        attempts = 0
+        while True:
+            attempts += 1
+            yield from self.connection.send(message)
+            outcomes = yield from self.cluster.publish(
+                self.broker, message, exchange, key)
+            accepted = bool(outcomes) and all(o.accepted for o in outcomes)
+            if accepted:
+                break
+            self.rejected += 1
+            self.monitor.count("rejected")
+            if not outcomes:
+                # Unroutable: retrying will not help.
+                return False
+            if attempts > self.max_retries:
+                self.monitor.count("dropped")
+                return False
+            # Backpressure: wait and republish (reject-publish semantics).
+            yield self.env.timeout(self.reject_backoff_s * min(attempts, 10))
+
+        self.published += 1
+        self.monitor.count("published")
+        self._unconfirmed += 1
+        if (self.ack_policy.publisher_batch
+                and self._unconfirmed >= self.ack_policy.publisher_batch):
+            # Wait for the cumulative publisher confirm round trip.
+            yield self.env.timeout(_path_rtt(self.connection))
+            self._unconfirmed = 0
+            self.monitor.count("confirm_batches")
+        return True
+
+    def flush_confirms(self) -> Generator:
+        """Wait for confirms of any trailing unconfirmed messages."""
+        if self._unconfirmed:
+            yield self.env.timeout(_path_rtt(self.connection))
+            self._unconfirmed = 0
+            self.monitor.count("confirm_batches")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ProducerClient {self.name} broker={self.broker.name}>"
+
+
+class ConsumerClient:
+    """Consuming side of the streaming service."""
+
+    def __init__(self, env: Environment, name: str, *,
+                 cluster: BrokerCluster,
+                 connection: Connection,
+                 broker: Optional[Broker] = None,
+                 ack_policy: AckPolicy = DEFAULT_ACK_POLICY) -> None:
+        self.env = env
+        self.name = name
+        self.cluster = cluster
+        self.connection = connection
+        self.broker = broker or cluster.assign_client_broker()
+        self.ack_policy = ack_policy
+        self.monitor = Monitor(f"consumer:{name}")
+        self.mailbox: Store = Store(env)
+        self.received = 0
+        self._pending_acks: dict[str, list[int]] = {}
+        self.subscriptions: list[str] = []
+
+    # -- subscription -----------------------------------------------------------
+    def _deliver(self, message: Message) -> Generator:
+        """Carry one message from this client's broker to the application."""
+        yield from self.connection.send(message)
+        message.consumed_at = self.env.now
+        message.headers["consumer"] = self.name
+        self.received += 1
+        self.monitor.count("received")
+        self.monitor.count("bytes", message.wire_bytes)
+        yield self.mailbox.put(message)
+
+    def subscribe(self, queue_name: str, *, prefetch: Optional[int] = None) -> str:
+        """Attach this consumer to a queue; returns the consumer tag."""
+        tag = f"{self.name}-ctag-{next(_consumer_tags)}"
+        credit = self.ack_policy.prefetch_count if prefetch is None else prefetch
+        self.cluster.subscribe(queue_name, tag, self._deliver,
+                               consumer_broker=self.broker, prefetch=credit)
+        self.subscriptions.append(queue_name)
+        self.monitor.count("subscriptions")
+        return tag
+
+    # -- application API -----------------------------------------------------------
+    def get(self):
+        """Event: the next message placed in this client's mailbox."""
+        return self.mailbox.get()
+
+    def ack(self, message: Message) -> Generator:
+        """Simulation process: acknowledge a delivery (batched).
+
+        Cumulative acks are sent every ``consumer_batch`` deliveries; each
+        batch costs one ack round trip on the consumer connection.
+        """
+        queue_name = message.headers.get("queue")
+        delivery_tag = message.headers.get("delivery_tag")
+        if queue_name is None or delivery_tag is None:
+            return 0
+        pending = self._pending_acks.setdefault(queue_name, [])
+        pending.append(delivery_tag)
+        if len(pending) < max(1, self.ack_policy.consumer_batch):
+            return 0
+        settled = yield from self._send_ack(queue_name, max(pending))
+        pending.clear()
+        return settled
+
+    def flush_acks(self) -> Generator:
+        """Acknowledge any deliveries still pending in the batch buffers."""
+        total = 0
+        for queue_name, pending in self._pending_acks.items():
+            if pending:
+                total += yield from self._send_ack(queue_name, max(pending))
+                pending.clear()
+        return total
+
+    def _send_ack(self, queue_name: str, up_to_tag: int) -> Generator:
+        yield self.env.timeout(_path_rtt(self.connection) / 2.0)
+        settled = self.cluster.ack(queue_name, up_to_tag, multiple=True)
+        self.monitor.count("ack_batches")
+        self.monitor.count("acked", settled)
+        return settled
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ConsumerClient {self.name} broker={self.broker.name}>"

@@ -1,0 +1,210 @@
+"""A three-node RabbitMQ-style broker cluster.
+
+The paper deploys the streaming service as a three-server RabbitMQ cluster
+with one server pod per DSN (anti-affinity), for all three architectures
+(§4.3–§4.5).  The cluster presents a single logical messaging namespace:
+
+* exchange/queue *metadata* is known cluster-wide,
+* every classic queue has a single **leader** broker that holds its messages
+  (we place leaders round-robin across brokers, as the Bitnami chart does),
+* a client is connected to one broker; publishing to / consuming from a
+  queue whose leader lives on a *different* broker costs an extra
+  inter-broker hop across the DSN-to-DSN links — exactly the intra-cluster
+  traffic RabbitMQ generates.
+
+The cluster therefore needs the :class:`~repro.netsim.network.Network` to
+resolve inter-broker routes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from ..simkit import Environment, Monitor
+from ..netsim.message import Message
+from ..netsim.network import Network
+from .broker import Broker
+from .exchange import ExchangeType
+from .policies import DEFAULT_QUEUE_POLICY, QueuePolicy
+from .queue import ClassicQueue, ConsumerHandle, PublishOutcome
+
+__all__ = ["BrokerCluster"]
+
+
+class BrokerCluster:
+    """Cluster façade over several :class:`Broker` instances."""
+
+    def __init__(self, env: Environment, name: str, brokers: list[Broker],
+                 network: Network, *,
+                 monitor: Optional[Monitor] = None) -> None:
+        if not brokers:
+            raise ValueError("a cluster needs at least one broker")
+        self.env = env
+        self.name = name
+        self.brokers = list(brokers)
+        self.network = network
+        self.monitor = monitor or Monitor(f"cluster:{name}")
+        #: queue name -> leader broker
+        self._queue_leaders: dict[str, Broker] = {}
+        self._placement_cursor = 0
+        self._client_cursor = 0
+
+    # -- membership -----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return len(self.brokers)
+
+    def broker_by_name(self, name: str) -> Broker:
+        for broker in self.brokers:
+            if broker.name == name:
+                return broker
+        raise KeyError(f"unknown broker {name!r}")
+
+    def assign_client_broker(self) -> Broker:
+        """Round-robin assignment of client connections to brokers."""
+        broker = self.brokers[self._client_cursor % len(self.brokers)]
+        self._client_cursor += 1
+        return broker
+
+    # -- declarations -----------------------------------------------------------
+    def declare_exchange(self, name: str,
+                         type: ExchangeType = ExchangeType.DIRECT) -> None:
+        for broker in self.brokers:
+            broker.declare_exchange(name, type)
+
+    def declare_queue(self, name: str, *,
+                      policy: QueuePolicy = DEFAULT_QUEUE_POLICY,
+                      is_control: bool = False,
+                      leader: Optional[Broker] = None) -> ClassicQueue:
+        """Declare a queue cluster-wide, placing its leader on one broker."""
+        existing = self._queue_leaders.get(name)
+        if existing is not None:
+            return existing.queues[name]
+        if leader is None:
+            leader = self.brokers[self._placement_cursor % len(self.brokers)]
+            self._placement_cursor += 1
+        queue = leader.declare_queue(name, policy=policy, is_control=is_control)
+        self._queue_leaders[name] = leader
+        # Queue metadata is replicated cluster-wide: the default exchange on
+        # every broker can route to the queue by name, exactly as RabbitMQ
+        # resolves cluster-remote queues.
+        for broker in self.brokers:
+            broker.exchanges[""].bind(name, name)
+        return queue
+
+    def bind_queue(self, exchange_name: str, queue_name: str,
+                   binding_key: str = "") -> None:
+        """Bind cluster-wide: every broker knows the routing table."""
+        leader = self.queue_leader(queue_name)
+        for broker in self.brokers:
+            exchange = broker.declare_exchange(
+                exchange_name, broker.exchanges[exchange_name].type
+                if exchange_name in broker.exchanges else ExchangeType.DIRECT)
+            exchange.bind(queue_name, binding_key)
+        # Ensure the leader actually has the queue object (it does by
+        # construction); other brokers only hold metadata.
+        assert queue_name in leader.queues
+
+    def queue_leader(self, queue_name: str) -> Broker:
+        try:
+            return self._queue_leaders[queue_name]
+        except KeyError:
+            raise KeyError(f"unknown queue {queue_name!r}") from None
+
+    def get_queue(self, queue_name: str) -> ClassicQueue:
+        return self.queue_leader(queue_name).queues[queue_name]
+
+    def queues(self) -> list[str]:
+        return sorted(self._queue_leaders)
+
+    # -- data plane -----------------------------------------------------------
+    def _relay(self, src: Broker, dst: Broker, message: Message) -> Generator:
+        """Move a message across the inter-broker (DSN to DSN) network."""
+        if src is dst:
+            return
+        route = self.network.route(src.host.name, dst.host.name)
+        for element in route.links:
+            yield from element.traverse(message)
+        # The destination host spends CPU receiving the relayed message.
+        yield from dst.host.traverse(message)
+        self.monitor.count("interbroker_messages")
+        self.monitor.count("interbroker_bytes", message.wire_bytes)
+
+    def publish(self, entry_broker: Broker, message: Message,
+                exchange_name: str, routing_key: str) -> Generator:
+        """Simulation process: publish via ``entry_broker``.
+
+        Routes on the entry broker's (cluster-wide) routing table, relays the
+        message to the leader of each destination queue when needed, and
+        returns the list of :class:`PublishOutcome`.
+        """
+        queue_names = entry_broker.route(exchange_name, routing_key)
+        outcomes: list[PublishOutcome] = []
+        yield self.env.timeout(entry_broker.publish_overhead_s)
+        if not queue_names:
+            self.monitor.count("unroutable")
+            return outcomes
+        # Group destination queues by their leader broker: RabbitMQ replicates
+        # a published message to a cluster peer once, not once per queue, so a
+        # fanout over many queues on the same node costs one relay.
+        by_leader: dict[Broker, list[str]] = {}
+        for queue_name in queue_names:
+            leader = self._queue_leaders.get(queue_name)
+            if leader is None:
+                outcomes.append(PublishOutcome(False, "no-queue", queue_name))
+                continue
+            by_leader.setdefault(leader, []).append(queue_name)
+        for leader, leader_queues in by_leader.items():
+            if leader is not entry_broker:
+                yield from self._relay(entry_broker, leader, message)
+            for queue_name in leader_queues:
+                queue = leader.queues[queue_name]
+                if not queue.is_control and leader.memory_pressure():
+                    outcomes.append(PublishOutcome(False, "memory-watermark", queue_name))
+                    leader.monitor.count("blocked_publishes")
+                    continue
+                outcomes.append(queue.publish(message))
+        self.monitor.count("publishes")
+        return outcomes
+
+    def subscribe(self, queue_name: str, tag: str,
+                  deliver: Callable[[Message], Generator], *,
+                  consumer_broker: Optional[Broker] = None,
+                  prefetch: int = 0) -> ConsumerHandle:
+        """Attach a consumer to a queue, inserting the relay hop if needed.
+
+        ``deliver`` is the client-layer generator that carries a message from
+        the *consumer's* broker to the consumer application.  If the queue
+        leader is a different broker, the cluster wraps it so the message
+        first crosses the inter-broker network.
+        """
+        leader = self.queue_leader(queue_name)
+        queue = leader.queues[queue_name]
+        if consumer_broker is None or consumer_broker is leader:
+            return queue.subscribe(tag, deliver, prefetch=prefetch)
+
+        def deliver_with_relay(message: Message,
+                               _leader: Broker = leader,
+                               _consumer_broker: Broker = consumer_broker):
+            yield from self._relay(_leader, _consumer_broker, message)
+            yield from deliver(message)
+
+        return queue.subscribe(tag, deliver_with_relay, prefetch=prefetch)
+
+    def ack(self, queue_name: str, delivery_tag: int, *, multiple: bool = False) -> int:
+        return self.get_queue(queue_name).ack(delivery_tag, multiple=multiple)
+
+    # -- reporting -----------------------------------------------------------
+    def total_depth(self) -> int:
+        return sum(broker.queues[q].depth
+                   for q, broker in self._queue_leaders.items())
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "brokers": [b.name for b in self.brokers],
+            "queues": {q: leader.name for q, leader in self._queue_leaders.items()},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<BrokerCluster {self.name} size={self.size} queues={len(self._queue_leaders)}>"

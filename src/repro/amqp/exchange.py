@@ -1,0 +1,119 @@
+"""AMQP 0-9-1 style exchanges and bindings.
+
+The three messaging patterns of the paper map onto the three classic
+exchange types:
+
+* *work sharing* — producers publish to a **direct** exchange whose routing
+  key names one of the shared work queues,
+* *work sharing with feedback* — requests as above, replies published to a
+  direct exchange routed to the per-producer reply queue,
+* *broadcast and gather* — a **fanout** exchange copies every request to one
+  queue per consumer (pub-sub), and the replies flow back through another
+  fanout/direct exchange consumed by the single producer.
+
+A small **topic** exchange is included for completeness (used by some
+control-plane traffic and exercised in the tests), matching ``*`` and ``#``
+wildcards the way RabbitMQ does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .queue import ClassicQueue
+
+__all__ = ["ExchangeType", "Binding", "Exchange"]
+
+
+class ExchangeType(enum.Enum):
+    DIRECT = "direct"
+    FANOUT = "fanout"
+    TOPIC = "topic"
+
+
+@dataclass(frozen=True)
+class Binding:
+    """A binding from an exchange to a queue with a binding key."""
+
+    queue_name: str
+    binding_key: str = ""
+
+
+def _topic_matches(binding_key: str, routing_key: str) -> bool:
+    """RabbitMQ-style topic match: ``*`` = one word, ``#`` = zero or more."""
+    pattern = binding_key.split(".")
+    words = routing_key.split(".")
+
+    def match(p_idx: int, w_idx: int) -> bool:
+        while True:
+            if p_idx == len(pattern):
+                return w_idx == len(words)
+            token = pattern[p_idx]
+            if token == "#":
+                if p_idx == len(pattern) - 1:
+                    return True
+                # '#' may swallow zero or more words.
+                for skip in range(len(words) - w_idx + 1):
+                    if match(p_idx + 1, w_idx + skip):
+                        return True
+                return False
+            if w_idx == len(words):
+                return False
+            if token != "*" and token != words[w_idx]:
+                return False
+            p_idx += 1
+            w_idx += 1
+
+    return match(0, 0)
+
+
+class Exchange:
+    """Routes published messages to bound queues by routing key."""
+
+    def __init__(self, name: str, type: ExchangeType = ExchangeType.DIRECT) -> None:
+        self.name = name
+        self.type = type
+        self._bindings: list[Binding] = []
+
+    def bind(self, queue: "ClassicQueue | str", binding_key: str = "") -> Binding:
+        queue_name = queue if isinstance(queue, str) else queue.name
+        binding = Binding(queue_name, binding_key)
+        if binding in self._bindings:
+            return binding
+        self._bindings.append(binding)
+        return binding
+
+    def unbind(self, queue: "ClassicQueue | str", binding_key: str = "") -> None:
+        queue_name = queue if isinstance(queue, str) else queue.name
+        self._bindings = [b for b in self._bindings
+                          if not (b.queue_name == queue_name and b.binding_key == binding_key)]
+
+    @property
+    def bindings(self) -> list[Binding]:
+        return list(self._bindings)
+
+    def route(self, routing_key: str) -> list[str]:
+        """Names of queues a message with ``routing_key`` is copied to."""
+        if self.type is ExchangeType.FANOUT:
+            # Fanout ignores the routing key entirely.
+            seen: list[str] = []
+            for binding in self._bindings:
+                if binding.queue_name not in seen:
+                    seen.append(binding.queue_name)
+            return seen
+        if self.type is ExchangeType.DIRECT:
+            return [b.queue_name for b in self._bindings
+                    if b.binding_key == routing_key]
+        # TOPIC
+        matched: list[str] = []
+        for binding in self._bindings:
+            if _topic_matches(binding.binding_key, routing_key):
+                if binding.queue_name not in matched:
+                    matched.append(binding.queue_name)
+        return matched
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Exchange {self.name!r} {self.type.value} bindings={len(self._bindings)}>"

@@ -1,0 +1,98 @@
+"""Queue and memory policies for the RabbitMQ-like streaming service.
+
+Mirrors the configuration used in §5.2 of the paper:
+
+* classic queues that retain a bounded number of messages in memory,
+* overflow policy ``reject-publish`` so producers see backpressure and can
+  republish,
+* 80 % of broker RAM reserved for data payload queues, the remaining 20 %
+  for control/management queues,
+* batch-wise producer (publisher confirms) and consumer acknowledgements.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "OverflowPolicy",
+    "QueuePolicy",
+    "MemoryPolicy",
+    "AckPolicy",
+    "DEFAULT_QUEUE_POLICY",
+    "DEFAULT_MEMORY_POLICY",
+    "DEFAULT_ACK_POLICY",
+]
+
+
+class OverflowPolicy(enum.Enum):
+    """What a classic queue does when it is full."""
+
+    #: Reject the publish (producer receives a nack and may republish).
+    REJECT_PUBLISH = "reject-publish"
+    #: Silently drop the oldest message to make room.
+    DROP_HEAD = "drop-head"
+
+
+@dataclass(frozen=True)
+class QueuePolicy:
+    """Per-queue limits and overflow behaviour."""
+
+    #: Maximum number of ready messages held by the queue (0 = unlimited).
+    max_length: int = 0
+    #: Maximum total payload bytes held by the queue (0 = unlimited).
+    max_length_bytes: float = 0.0
+    overflow: OverflowPolicy = OverflowPolicy.REJECT_PUBLISH
+    #: Whether messages survive broker restarts (affects publish cost).
+    durable: bool = False
+
+    def accepts(self, current_length: int, current_bytes: float,
+                incoming_bytes: float) -> bool:
+        """Whether a queue currently within these limits can take a message."""
+        if self.max_length and current_length + 1 > self.max_length:
+            return False
+        if self.max_length_bytes and current_bytes + incoming_bytes > self.max_length_bytes:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class MemoryPolicy:
+    """Broker-wide memory budget split between data and control queues."""
+
+    #: Total RAM configured for the broker node (bytes); §4.3 uses 32 GiB.
+    total_bytes: float = 32 * 1024 ** 3
+    #: Fraction reserved for data payload queues (§5.2: 80 %).
+    data_fraction: float = 0.80
+    #: High watermark above which publishes are blocked (RabbitMQ default 0.4
+    #: of system RAM; here relative to the configured total).
+    high_watermark: float = 1.0
+
+    @property
+    def data_bytes(self) -> float:
+        return self.total_bytes * self.data_fraction
+
+    @property
+    def control_bytes(self) -> float:
+        return self.total_bytes * (1.0 - self.data_fraction)
+
+    def budget_for(self, is_control: bool) -> float:
+        return self.control_bytes if is_control else self.data_bytes
+
+
+@dataclass(frozen=True)
+class AckPolicy:
+    """Batch acknowledgement settings (§5.2)."""
+
+    #: Consumer sends one cumulative ack per this many deliveries.
+    consumer_batch: int = 10
+    #: Producer waits for confirms after this many publishes.
+    publisher_batch: int = 10
+    #: Unlimited prefetch when 0; otherwise max unacked deliveries/consumer.
+    prefetch_count: int = 100
+
+
+DEFAULT_QUEUE_POLICY = QueuePolicy(max_length=10_000)
+DEFAULT_MEMORY_POLICY = MemoryPolicy()
+DEFAULT_ACK_POLICY = AckPolicy()

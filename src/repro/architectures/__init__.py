@@ -1,0 +1,59 @@
+"""The paper's cross-facility data streaming architectures.
+
+:class:`DTSArchitecture`, :class:`PRSArchitecture` and :class:`MSSArchitecture`
+implement §2/§4 of the paper on top of the shared :class:`Testbed`;
+:class:`NLFArchitecture` is the §6 network-layer-forwarding extension.
+"""
+
+from .base import ClientEndpoints, DeploymentError, StreamingArchitecture
+from .deployment import FEASIBILITY_AXES, DeploymentReport
+from .dts import DTSArchitecture
+from .mss import MSSArchitecture
+from .nlf import NLFArchitecture
+from .prs import PRSArchitecture
+from .testbed import Testbed, TestbedConfig
+
+__all__ = [
+    "StreamingArchitecture",
+    "ClientEndpoints",
+    "DeploymentError",
+    "DeploymentReport",
+    "FEASIBILITY_AXES",
+    "Testbed",
+    "TestbedConfig",
+    "DTSArchitecture",
+    "PRSArchitecture",
+    "MSSArchitecture",
+    "NLFArchitecture",
+    "make_architecture",
+    "ARCHITECTURES",
+]
+
+#: Registry of architecture factories keyed by the labels used in the
+#: figures (e.g. "DTS", "PRS(HAProxy)", "PRS(Stunnel)",
+#: "PRS(HAProxy,4conns)", "MSS").
+ARCHITECTURES = {
+    "DTS": lambda testbed, **kw: DTSArchitecture(testbed, **kw),
+    "PRS(Stunnel)": lambda testbed, **kw: PRSArchitecture(
+        testbed, proxy_type="stunnel", **kw),
+    "PRS(HAProxy)": lambda testbed, **kw: PRSArchitecture(
+        testbed, proxy_type="haproxy", **kw),
+    "PRS(HAProxy,4conns)": lambda testbed, **kw: PRSArchitecture(
+        testbed, proxy_type="haproxy", num_connections=4, **kw),
+    "PRS(Nginx)": lambda testbed, **kw: PRSArchitecture(
+        testbed, proxy_type="nginx", **kw),
+    "MSS": lambda testbed, **kw: MSSArchitecture(testbed, **kw),
+    "MSS(bypass)": lambda testbed, **kw: MSSArchitecture(
+        testbed, bypass_lb_for_internal=True, **kw),
+    "NLF": lambda testbed, **kw: NLFArchitecture(testbed, **kw),
+}
+
+
+def make_architecture(label: str, testbed: Testbed, **kwargs) -> StreamingArchitecture:
+    """Instantiate an architecture by its figure label."""
+    try:
+        factory = ARCHITECTURES[label]
+    except KeyError:
+        raise ValueError(f"unknown architecture {label!r}; "
+                         f"expected one of {sorted(ARCHITECTURES)}") from None
+    return factory(testbed, **kwargs)

@@ -1,0 +1,211 @@
+"""Common machinery for the DTS / PRS / MSS architecture builders.
+
+An architecture owns the *wiring* question: given the shared
+:class:`~repro.architectures.testbed.Testbed`, what stages does a message
+cross between a producer and the broker cluster, and between the broker
+cluster and a consumer?  Each concrete architecture implements
+
+* :meth:`StreamingArchitecture.deploy` — a simulation process that performs
+  the control-plane setup the paper describes in §4 (Helm install and
+  NodePorts for DTS, SciStream session establishment for PRS, S3M
+  provisioning and route creation for MSS), and
+* :meth:`StreamingArchitecture.attach_producer` /
+  :meth:`StreamingArchitecture.attach_consumer` — build the
+  publish/delivery :class:`~repro.netsim.connection.Connection` objects and
+  the AMQP clients for one application endpoint.
+
+Both attach methods return a :class:`ClientEndpoints` pair (a publisher and
+a subscriber sharing the same broker assignment), because the feedback and
+broadcast/gather patterns need producers that also consume (replies) and
+consumers that also publish (replies/metrics).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Generator, Iterable, Optional
+
+from ..simkit import Environment
+from ..amqp import AckPolicy, Broker, ConsumerClient, ProducerClient
+from ..netsim.connection import Connection, SecuredNode, Traversable
+from ..netsim.tls import NULL_TLS, TLSProfile
+from .deployment import DeploymentReport
+from .testbed import Testbed
+
+__all__ = ["DeploymentError", "ClientEndpoints", "StreamingArchitecture"]
+
+
+class DeploymentError(RuntimeError):
+    """Raised when an architecture cannot support the requested deployment
+    (e.g. PRS over Stunnel with more than 16 connections, §5.3)."""
+
+
+@dataclass
+class ClientEndpoints:
+    """The AMQP clients attached for one application endpoint (P or C)."""
+
+    name: str
+    host: str
+    broker: Broker
+    #: Client used to publish messages toward the streaming service.
+    publisher: ProducerClient
+    #: Client used to receive deliveries from the streaming service.
+    subscriber: ConsumerClient
+
+
+class StreamingArchitecture(abc.ABC):
+    """Base class for the three cross-facility streaming architectures."""
+
+    #: Short identifier used in results/figures ("DTS", "PRS", "MSS", ...).
+    name: str = "base"
+    #: Human-readable label (may include tuning options, e.g. proxy type).
+    label: str = "base"
+
+    def __init__(self, testbed: Testbed, *,
+                 ack_policy: Optional[AckPolicy] = None) -> None:
+        self.testbed = testbed
+        self.env: Environment = testbed.env
+        self.cluster = testbed.broker_cluster
+        self.network = testbed.network
+        self.ack_policy = ack_policy or testbed.config.ack_policy
+        self.deployed = False
+        self._endpoints: list[ClientEndpoints] = []
+
+    # -- control plane ------------------------------------------------------------
+    @abc.abstractmethod
+    def deploy(self) -> Generator:
+        """Simulation process performing the §4 deployment steps."""
+
+    @abc.abstractmethod
+    def deployment_report(self) -> DeploymentReport:
+        """Feasibility/operational summary of this deployment."""
+
+    # -- data plane wiring ------------------------------------------------------------
+    @abc.abstractmethod
+    def producer_publish_stages(self, host: str, broker: Broker) -> list[Traversable]:
+        """Stages a message crosses from a producer host into ``broker``."""
+
+    @abc.abstractmethod
+    def producer_delivery_stages(self, broker: Broker, host: str) -> list[Traversable]:
+        """Stages from ``broker`` back to a producer host (reply deliveries)."""
+
+    @abc.abstractmethod
+    def consumer_delivery_stages(self, broker: Broker, host: str) -> list[Traversable]:
+        """Stages a delivery crosses from ``broker`` to a consumer host."""
+
+    @abc.abstractmethod
+    def consumer_publish_stages(self, host: str, broker: Broker) -> list[Traversable]:
+        """Stages from a consumer host into ``broker`` (replies, gathers)."""
+
+    @abc.abstractmethod
+    def connection_tls(self) -> list[TLSProfile]:
+        """TLS handshakes paid when a client connection is established."""
+
+    def producer_connection_tls(self) -> list[TLSProfile]:
+        """TLS handshakes for producer connections (defaults to the common set)."""
+        return self.connection_tls()
+
+    def consumer_connection_tls(self) -> list[TLSProfile]:
+        """TLS handshakes for consumer connections (defaults to the common set)."""
+        return self.connection_tls()
+
+    # -- shared helpers ------------------------------------------------------------
+    def route_stages(self, node_names: Iterable[str], *,
+                     wrappers: Optional[dict[str, Traversable]] = None,
+                     tls_at: Optional[dict[str, TLSProfile]] = None) -> list[Traversable]:
+        """Build a stage list for a node path, inserting wrappers/TLS.
+
+        ``node_names`` is the ordered list of hosts the path visits; links
+        between consecutive hosts are taken from the testbed network.  A host
+        present in ``wrappers`` is replaced by the given traversable (e.g. a
+        proxy, the load balancer or the ingress controller); a host present
+        in ``tls_at`` is wrapped in :class:`SecuredNode` with that profile.
+        """
+        wrappers = wrappers or {}
+        tls_at = tls_at or {}
+        names = list(node_names)
+        stages: list[Traversable] = []
+        for index, name in enumerate(names):
+            if name in wrappers:
+                stages.append(wrappers[name])
+            else:
+                node = self.network.get_node(name)
+                profile = tls_at.get(name, NULL_TLS)
+                if profile is NULL_TLS:
+                    stages.append(node)
+                else:
+                    stages.append(SecuredNode(node, profile))
+            if index + 1 < len(names):
+                stages.append(self.network.link_between(name, names[index + 1]))
+        return stages
+
+    def _make_endpoints(self, name: str, host: str, *,
+                        publish_stages: list[Traversable],
+                        delivery_stages: list[Traversable],
+                        broker: Broker,
+                        tls_handshakes: Optional[list[TLSProfile]] = None) -> ClientEndpoints:
+        handshakes = (tls_handshakes if tls_handshakes is not None
+                      else self.connection_tls())
+        publish_conn = Connection(
+            self.env, f"{self.name}:{name}:publish", publish_stages,
+            tls_handshakes=handshakes)
+        delivery_conn = Connection(
+            self.env, f"{self.name}:{name}:delivery", delivery_stages,
+            tls_handshakes=handshakes)
+        publisher = ProducerClient(self.env, f"{name}-pub", cluster=self.cluster,
+                                   connection=publish_conn, broker=broker,
+                                   ack_policy=self.ack_policy)
+        subscriber = ConsumerClient(self.env, f"{name}-sub", cluster=self.cluster,
+                                    connection=delivery_conn, broker=broker,
+                                    ack_policy=self.ack_policy)
+        endpoints = ClientEndpoints(name=name, host=host, broker=broker,
+                                    publisher=publisher, subscriber=subscriber)
+        self._endpoints.append(endpoints)
+        return endpoints
+
+    def _require_deployed(self) -> None:
+        if not self.deployed:
+            raise DeploymentError(
+                f"{self.label}: deploy() must run before attaching clients")
+
+    # -- public attach API ------------------------------------------------------------
+    def attach_producer(self, host: str, name: str) -> ClientEndpoints:
+        """Attach a producer application running on ``host``."""
+        self._require_deployed()
+        broker = self.cluster.assign_client_broker()
+        return self._make_endpoints(
+            name, host,
+            publish_stages=self.producer_publish_stages(host, broker),
+            delivery_stages=self.producer_delivery_stages(broker, host),
+            broker=broker,
+            tls_handshakes=self.producer_connection_tls())
+
+    def attach_consumer(self, host: str, name: str) -> ClientEndpoints:
+        """Attach a consumer application running on ``host``."""
+        self._require_deployed()
+        broker = self.cluster.assign_client_broker()
+        return self._make_endpoints(
+            name, host,
+            publish_stages=self.consumer_publish_stages(host, broker),
+            delivery_stages=self.consumer_delivery_stages(broker, host),
+            broker=broker,
+            tls_handshakes=self.consumer_connection_tls())
+
+    # -- reporting ------------------------------------------------------------
+    @property
+    def endpoints(self) -> list[ClientEndpoints]:
+        return list(self._endpoints)
+
+    def data_path_hop_count(self) -> int:
+        """Producer→broker→consumer link count for a representative pair."""
+        broker = self.cluster.brokers[0]
+        producer_host = self.testbed.producer_host(0)
+        consumer_host = self.testbed.consumer_host(0)
+        publish = self.producer_publish_stages(producer_host, broker)
+        delivery = self.consumer_delivery_stages(broker, consumer_host)
+        from ..netsim.link import Link
+        return sum(1 for stage in publish + delivery if isinstance(stage, Link))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.label} deployed={self.deployed}>"

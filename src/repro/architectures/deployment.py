@@ -1,0 +1,79 @@
+"""Deployment-feasibility model for the three architectures.
+
+§2 and §6 of the paper compare the architectures along qualitative axes —
+network complexity, administrative burden, security exposure, scalability of
+the deployment model, and user experience.  This module turns those axes
+into a structured :class:`DeploymentReport` each architecture fills from the
+objects it actually created (firewall pinholes opened, NodePorts allocated,
+DNS entries registered, control-plane steps executed), so the comparison
+table in :mod:`repro.core.tables` is derived from the deployment rather than
+hard-coded prose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DeploymentReport", "FEASIBILITY_AXES"]
+
+#: Axes reported in the qualitative comparison (Table "architecture
+#: comparison" in repro.core.tables).
+FEASIBILITY_AXES = (
+    "data_path_hops",
+    "firewall_rules",
+    "nodeports_exposed",
+    "dns_entries",
+    "admin_steps",
+    "user_steps",
+    "security_exposure",
+    "multi_user_scalability",
+)
+
+
+@dataclass
+class DeploymentReport:
+    """Feasibility/operational summary of one deployed architecture."""
+
+    architecture: str
+    #: Number of link traversals producer → broker → consumer (one message).
+    data_path_hops: int = 0
+    #: Firewall pinholes that had to be opened for this deployment.
+    firewall_rules: int = 0
+    #: Node-level ports exposed outside the cluster.
+    nodeports_exposed: int = 0
+    #: Public DNS/FQDN entries required.
+    dns_entries: int = 0
+    #: Administrator actions per deployment (port assignment, iptables, ...).
+    admin_steps: int = 0
+    #: User-facing configuration steps (certificates, URLs, tokens, ...).
+    user_steps: int = 0
+    #: Qualitative security exposure: higher = more surface exposed.
+    #: (node-level exposure > gateway proxies > managed FQDN ingress)
+    security_exposure: int = 0
+    #: 1–5 rating of how well the deployment model scales to many users.
+    multi_user_scalability: int = 1
+    #: Where TLS terminates on the data path.
+    tls_placement: str = ""
+    #: How NAT/firewall traversal is achieved.
+    nat_traversal: str = ""
+    #: Free-form notes (paper-grounded caveats).
+    notes: list[str] = field(default_factory=list)
+
+    def as_row(self) -> dict:
+        """Flatten into a row for the comparison table."""
+        row = {"architecture": self.architecture}
+        for axis in FEASIBILITY_AXES:
+            row[axis] = getattr(self, axis)
+        row["tls_placement"] = self.tls_placement
+        row["nat_traversal"] = self.nat_traversal
+        return row
+
+    def operational_burden(self) -> int:
+        """Aggregate count of configuration artefacts an operator must manage."""
+        return (self.firewall_rules + self.nodeports_exposed + self.dns_entries
+                + self.admin_steps)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"{self.architecture}: hops={self.data_path_hops}, "
+                f"burden={self.operational_burden()}, "
+                f"multi-user scalability={self.multi_user_scalability}/5")

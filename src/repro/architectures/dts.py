@@ -1,0 +1,123 @@
+"""Direct Streaming (DTS).
+
+The streaming service is exposed through node-level NodePorts on the DSNs
+(§2.1, §4.3): the Bitnami Helm chart deploys the three RabbitMQ server pods
+with anti-affinity, opens NodePorts 30672 (AMQP) / 30671 (AMQPS), and both
+producers and consumers connect directly to ``<node-IP>:<NodePort>`` with
+TLS (AMQPS) end to end.
+
+Data path (per message)::
+
+    producer ──1 Gbps──> core switch ──1 Gbps──> DSN/broker
+    DSN/broker ──1 Gbps──> core switch ──1 Gbps──> consumer
+
+This is the minimal-hop reference architecture the paper uses as the
+baseline for overhead computation.  Its price is operational: every
+deployment needs node-exposed ports, firewall pinholes per DSN and
+(optionally) DNS entries, which is why it "scales poorly" across users.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..amqp import Broker
+from ..netsim.connection import Traversable
+from ..netsim.tls import DEFAULT_TLS, TLSProfile
+from .base import StreamingArchitecture
+from .deployment import DeploymentReport
+from .testbed import Testbed
+
+__all__ = ["DTSArchitecture"]
+
+#: NodePorts the paper opens for the RabbitMQ service (§4.3).
+AMQP_NODEPORT = 30672
+AMQPS_NODEPORT = 30671
+
+
+class DTSArchitecture(StreamingArchitecture):
+    """Direct Streaming: node-exposed access, AMQPS end to end."""
+
+    name = "DTS"
+    label = "DTS"
+
+    #: Helm-chart install / pod start-up time charged once at deploy.
+    helm_install_latency_s = 5.0
+
+    def __init__(self, testbed: Testbed, *, use_tls: bool = True, **kwargs) -> None:
+        super().__init__(testbed, **kwargs)
+        self.use_tls = use_tls
+        self.nodeport_services = []
+        self.endpoints_exposed: list[str] = []
+
+    # -- control plane ------------------------------------------------------------
+    def deploy(self) -> Generator:
+        """Install the RabbitMQ Helm chart and expose NodePorts + pinholes."""
+        yield self.env.timeout(self.helm_install_latency_s)
+        openshift = self.testbed.openshift
+        facility = self.testbed.hpc_facility
+        for index, pod in enumerate(self.testbed.rabbitmq_pods):
+            service = openshift.expose_nodeport(
+                f"rabbitmq-dts-{index}", pod, [5672, 5671],
+                preferred_ports=[AMQP_NODEPORT + 100 * index,
+                                 AMQPS_NODEPORT + 100 * index])
+            self.nodeport_services.append(service)
+            # Each exposed node needs an explicit firewall pinhole for the
+            # producer-side network (and one for the AMQPS port).
+            for node_port in service.node_ports:
+                facility.open_ingress("198.51.100.0/24", pod.node.name, node_port,
+                                      description=f"DTS {pod.name} NodePort")
+                self.endpoints_exposed.append(f"{pod.node.name}:{node_port}")
+        self.deployed = True
+        return self
+
+    # -- data plane ------------------------------------------------------------
+    def _broker_tls(self) -> dict[str, TLSProfile]:
+        if not self.use_tls:
+            return {}
+        return {dsn: DEFAULT_TLS for dsn in self.testbed.dsn_names}
+
+    def producer_publish_stages(self, host: str, broker: Broker) -> list[Traversable]:
+        return self.route_stages([host, "olcf-core", broker.host.name],
+                                 tls_at=self._broker_tls())
+
+    def producer_delivery_stages(self, broker: Broker, host: str) -> list[Traversable]:
+        return self.route_stages([broker.host.name, "olcf-core", host],
+                                 tls_at=self._broker_tls())
+
+    def consumer_delivery_stages(self, broker: Broker, host: str) -> list[Traversable]:
+        return self.route_stages([broker.host.name, "olcf-core", host],
+                                 tls_at=self._broker_tls())
+
+    def consumer_publish_stages(self, host: str, broker: Broker) -> list[Traversable]:
+        return self.route_stages([host, "olcf-core", broker.host.name],
+                                 tls_at=self._broker_tls())
+
+    def connection_tls(self) -> list[TLSProfile]:
+        return [DEFAULT_TLS] if self.use_tls else []
+
+    # -- feasibility ------------------------------------------------------------
+    def deployment_report(self) -> DeploymentReport:
+        facility = self.testbed.hpc_facility
+        nodeports = sum(len(svc.node_ports) for svc in self.nodeport_services)
+        report = DeploymentReport(
+            architecture=self.label,
+            data_path_hops=self.data_path_hop_count(),
+            firewall_rules=facility.firewall.rule_count,
+            nodeports_exposed=nodeports,
+            dns_entries=0,
+            # Manual steps per deployment: port assignment, firewall/iptables
+            # update and certificate handling for each exposed DSN (§2.1).
+            admin_steps=2 * len(self.testbed.dsn_nodes) + 1,
+            user_steps=len(self.endpoints_exposed),
+            security_exposure=3,
+            multi_user_scalability=1,
+            tls_placement="end-to-end AMQPS (client to broker)" if self.use_tls
+            else "none",
+            nat_traversal="node-exposed ports via DNAT; requires direct connectivity",
+            notes=[
+                "viable only between sites with direct connectivity / peered subnets",
+                "each new deployment demands manual port assignment and firewall updates",
+            ],
+        )
+        return report

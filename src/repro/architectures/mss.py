@@ -1,0 +1,129 @@
+"""Managed Service Streaming (MSS).
+
+§2.3/§4.5: the facility's platform manages the data flow.  The RabbitMQ
+cluster is provisioned on demand through the S3M Streaming API (token-based
+auth), and clients connect to a stable FQDN on port 443.  The FQDN
+terminates at a dedicated hardware load balancer outside the OpenShift
+cluster, which forwards to the OpenShift ingress controller (running on
+separate ingress nodes), which in turn routes to the RabbitMQ pods on the
+DSNs.
+
+Data path (per message)::
+
+    client → core → load balancer → ingress → core → DSN/broker   (and back)
+
+Every producer *and* consumer message crosses the LB + ingress in both
+directions — the source of MSS's overhead and of its scaling collapse at
+high consumer counts.  The §6 improvement of letting facility-internal
+consumers bypass the load balancer is available as
+``bypass_lb_for_internal=True`` and is exercised by an ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..amqp import Broker
+from ..cluster import ProvisionRequest
+from ..netsim.dns import Endpoint
+from ..netsim.tls import DEFAULT_TLS, TLSProfile
+from ..netsim.connection import Traversable
+from .base import StreamingArchitecture
+from .deployment import DeploymentReport
+from .testbed import Testbed
+
+__all__ = ["MSSArchitecture"]
+
+
+class MSSArchitecture(StreamingArchitecture):
+    """Managed Service Streaming: FQDN + load balancer + ingress."""
+
+    name = "MSS"
+
+    def __init__(self, testbed: Testbed, *,
+                 bypass_lb_for_internal: bool = False, **kwargs) -> None:
+        super().__init__(testbed, **kwargs)
+        self.bypass_lb_for_internal = bypass_lb_for_internal
+        self.label = "MSS(bypass)" if bypass_lb_for_internal else "MSS"
+        self.hostname: str | None = None
+        self.provision_result = None
+
+    # -- control plane ------------------------------------------------------------
+    def deploy(self) -> Generator:
+        """Provision the cluster via S3M and publish the FQDN route (§4.5)."""
+        testbed = self.testbed
+        token = testbed.s3m.issue_token("abc123")
+        request = ProvisionRequest(kind="general", name="rabbitmq", cpus=12,
+                                   ram_gbs=32, nodes=len(testbed.dsn_nodes),
+                                   max_msg_size=536_870_912)
+        self.provision_result = yield from testbed.s3m.provision_cluster(token, request)
+        self.hostname = self.provision_result.hostname
+
+        backends = [Endpoint(node.name, 5672) for node in testbed.dsn_nodes]
+        testbed.ingress.add_route(self.hostname, backends)
+        testbed.load_balancer.add_backend(Endpoint("ingress1", 443, "https"))
+        testbed.dns.register(self.hostname, Endpoint("lb1", 443, "amqps"))
+        self.deployed = True
+        return self
+
+    # -- data plane ------------------------------------------------------------
+    def _frontend_wrappers(self) -> dict[str, Traversable]:
+        return {"lb1": self.testbed.load_balancer,
+                "ingress1": self.testbed.ingress}
+
+    def _via_frontend_to_broker(self, host: str, broker: Broker) -> list[Traversable]:
+        return self.route_stages(
+            [host, "olcf-core", "lb1", "ingress1", "olcf-core", broker.host.name],
+            wrappers=self._frontend_wrappers())
+
+    def _via_frontend_to_host(self, broker: Broker, host: str) -> list[Traversable]:
+        return self.route_stages(
+            [broker.host.name, "olcf-core", "ingress1", "lb1", "olcf-core", host],
+            wrappers=self._frontend_wrappers())
+
+    def producer_publish_stages(self, host: str, broker: Broker) -> list[Traversable]:
+        return self._via_frontend_to_broker(host, broker)
+
+    def producer_delivery_stages(self, broker: Broker, host: str) -> list[Traversable]:
+        return self._via_frontend_to_host(broker, host)
+
+    def consumer_delivery_stages(self, broker: Broker, host: str) -> list[Traversable]:
+        if self.bypass_lb_for_internal:
+            return self.route_stages([broker.host.name, "olcf-core", host],
+                                     tls_at={broker.host.name: DEFAULT_TLS})
+        return self._via_frontend_to_host(broker, host)
+
+    def consumer_publish_stages(self, host: str, broker: Broker) -> list[Traversable]:
+        if self.bypass_lb_for_internal:
+            return self.route_stages([host, "olcf-core", broker.host.name],
+                                     tls_at={broker.host.name: DEFAULT_TLS})
+        return self._via_frontend_to_broker(host, broker)
+
+    def connection_tls(self) -> list[TLSProfile]:
+        return [DEFAULT_TLS]
+
+    # -- feasibility ------------------------------------------------------------
+    def deployment_report(self) -> DeploymentReport:
+        report = DeploymentReport(
+            architecture=self.label,
+            data_path_hops=self.data_path_hop_count(),
+            # No inbound pinholes: only outbound connectivity from the
+            # producer site is required (§2.3).
+            firewall_rules=0,
+            nodeports_exposed=0,
+            dns_entries=1,
+            admin_steps=0,
+            user_steps=2,  # obtain a token + call provision_cluster
+            security_exposure=1,
+            multi_user_scalability=5,
+            tls_placement="TLS terminates at the facility ingress (FQDN:443)",
+            nat_traversal="outbound-only connectivity; LB/ingress have routable IPs",
+            notes=[
+                "service provisioned on demand via the S3M Streaming API",
+                "all traffic shares the managed LB + ingress front end",
+            ],
+        )
+        if self.bypass_lb_for_internal:
+            report.notes.append(
+                "facility-internal consumers bypass the load balancer (§6 improvement)")
+        return report

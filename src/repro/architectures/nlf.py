@@ -1,0 +1,105 @@
+"""Network-Layer Forwarding (NLF) — a future-work extension architecture.
+
+§6 ("Other streaming architectures") sketches streaming architectures that
+forward at the network layer with reduced delivery guarantees: the EJFAT
+FPGA-accelerated UDP load balancer and OLCF's Project Banana Pepper (routers
+configured as NAT gateways that selectively forward traffic to a set of
+compute nodes).
+
+This module provides a simplified model of that idea so the repository can
+run the "what if we forward below the application layer?" ablation: the
+forwarder is a fast router host that rewrites/forwards frames with a very
+small per-message cost and **no TLS and no broker-side reliability** on the
+forwarded hop.  The streaming service is still reached (the paper's framing
+keeps RabbitMQ as the service), but through a hop that is much cheaper than
+a proxy, load balancer or ingress.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..amqp import Broker
+from ..netsim.connection import Traversable
+from ..netsim.node import NodeSpec
+from ..netsim.tls import TLSProfile
+from ..netsim import units
+from .base import StreamingArchitecture
+from .deployment import DeploymentReport
+from .testbed import Testbed
+
+__all__ = ["NLFArchitecture"]
+
+#: A hardware router forwarding at line rate: tiny per-message cost.
+ROUTER_SPEC = NodeSpec(cores=8, memory_bytes=16 * units.GIB,
+                       per_message_seconds=3e-6, per_byte_seconds=2.5e-11,
+                       concurrency=32)
+
+
+class NLFArchitecture(StreamingArchitecture):
+    """Network-layer forwarding through a NAT-gateway router (extension)."""
+
+    name = "NLF"
+    label = "NLF"
+
+    #: Router/NAT rule configuration time at deploy.
+    router_config_latency_s = 1.0
+
+    def __init__(self, testbed: Testbed, **kwargs) -> None:
+        super().__init__(testbed, **kwargs)
+        self.router_name = "nlf-router"
+
+    def deploy(self) -> Generator:
+        yield self.env.timeout(self.router_config_latency_s)
+        cfg = self.testbed.config
+        if self.router_name not in self.network.nodes:
+            self.testbed.hpc_facility.add_host(self.router_name, ROUTER_SPEC,
+                                               role="router")
+            self.network.connect(self.router_name, "olcf-core",
+                                 bandwidth_bps=cfg.link_bandwidth_bps,
+                                 latency_s=cfg.link_latency_s,
+                                 jitter_s=cfg.link_jitter_s)
+            # One NAT mapping per DSN, maintained by network engineering.
+            for index, dsn in enumerate(self.testbed.dsn_names):
+                self.testbed.hpc_facility.nat.add_mapping(
+                    "198.51.100.10", 20000 + index, dsn, 5672)
+        self.deployed = True
+        return self
+
+    # -- data plane ------------------------------------------------------------
+    def producer_publish_stages(self, host: str, broker: Broker) -> list[Traversable]:
+        return self.route_stages(
+            [host, "olcf-core", self.router_name, "olcf-core", broker.host.name])
+
+    def producer_delivery_stages(self, broker: Broker, host: str) -> list[Traversable]:
+        return self.route_stages(
+            [broker.host.name, "olcf-core", self.router_name, "olcf-core", host])
+
+    def consumer_delivery_stages(self, broker: Broker, host: str) -> list[Traversable]:
+        return self.route_stages([broker.host.name, "olcf-core", host])
+
+    def consumer_publish_stages(self, host: str, broker: Broker) -> list[Traversable]:
+        return self.route_stages([host, "olcf-core", broker.host.name])
+
+    def connection_tls(self) -> list[TLSProfile]:
+        return []
+
+    # -- feasibility ------------------------------------------------------------
+    def deployment_report(self) -> DeploymentReport:
+        return DeploymentReport(
+            architecture=self.label,
+            data_path_hops=self.data_path_hop_count(),
+            firewall_rules=0,
+            nodeports_exposed=0,
+            dns_entries=0,
+            admin_steps=1 + len(self.testbed.dsn_names),  # router + NAT rules
+            user_steps=1,
+            security_exposure=2,
+            multi_user_scalability=2,
+            tls_placement="none on the forwarded hop (reduced guarantees)",
+            nat_traversal="router configured as a selective NAT gateway",
+            notes=[
+                "models the EJFAT / Project Banana Pepper network-layer approach (§6)",
+                "message-delivery guarantees are weaker than application-layer forwarding",
+            ],
+        )

@@ -1,0 +1,265 @@
+"""The emulated ACE testbed shared by every architecture.
+
+Builds the infrastructure of §4/§5.2 once, so the three architectures only
+differ in how they wire clients onto it:
+
+* an **HPC facility** (OLCF) containing
+
+  - the *Olivine* OpenShift cluster whose workers are three Data Streaming
+    Nodes (DSN1–3) running one RabbitMQ server pod each (anti-affinity),
+  - two gateway DSNs hosting the SciStream control/data servers (PRS),
+  - a hardware load balancer and an ingress node (MSS),
+  - the *Andes* compute cluster: 16 producer nodes, 16 consumer nodes and a
+    coordinator node,
+  - a core Ethernet switch; every host ↔ switch link is 1 Gbps (the §4.1 /
+    §6 limitation), configurable for the 100 Gbps ablation;
+
+* an **experimental facility** placeholder whose border is the producer
+  side — in the paper's emulation producers actually run on Andes, so the
+  "WAN" crossing collapses onto the same switch, but the facility objects
+  still carry the firewall/NAT state used for feasibility accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..simkit import Environment, RandomStreams
+from ..netsim import DNSRegistry, Network
+from ..netsim import units
+from ..amqp import AckPolicy, Broker, BrokerCluster, QueuePolicy
+from ..cluster import (
+    ComputeCluster,
+    Facility,
+    HardwareLoadBalancer,
+    IngressController,
+    JobLauncher,
+    OpenShiftCluster,
+    PodSpec,
+    S3MService,
+    WideAreaNetwork,
+)
+from ..cluster.specs import (
+    ANDES_SPEC,
+    DEFAULT_LINK_BANDWIDTH,
+    DSN_SPEC,
+    GATEWAY_SPEC,
+    INGRESS_SPEC,
+    LOAD_BALANCER_SPEC,
+)
+from ..netsim.node import NodeSpec
+from ..netsim.tls import DEFAULT_TLS
+
+__all__ = ["TestbedConfig", "Testbed"]
+
+
+#: High-capacity Ethernet switch: cheap per message, effectively never the
+#: bottleneck (the 1 Gbps access links are).
+SWITCH_SPEC = NodeSpec(cores=64, memory_bytes=8 * units.GIB,
+                       per_message_seconds=2e-6, per_byte_seconds=2.0e-11,
+                       concurrency=64)
+
+
+@dataclass
+class TestbedConfig:
+    """Knobs for building the emulated ACE testbed."""
+
+    # Not a pytest test class despite the name.
+    __test__ = False
+
+    #: Compute-node pools (the paper uses 16 + 16 + 1 coordinator).
+    producer_nodes: int = 16
+    consumer_nodes: int = 16
+    #: Number of DSNs hosting RabbitMQ server pods.
+    dsn_count: int = 3
+    #: Access-link bandwidth for compute (Andes) hosts (1 Gbps in the paper).
+    link_bandwidth_bps: float = DEFAULT_LINK_BANDWIDTH
+    #: Bandwidth of the infrastructure links (DSNs, LB, ingress).  The paper
+    #: quotes 1 Gbps effective interfaces, but its absolute message rates
+    #: imply a higher effective service-side capacity; 2 Gbps keeps the DTS
+    #: saturation point near the paper's (see EXPERIMENTS.md).
+    backbone_bandwidth_bps: float = 2 * DEFAULT_LINK_BANDWIDTH
+    #: Bandwidth of the SciStream gateway links and the overlay tunnel
+    #: segment.  The proxies run on a single pair of gateway DSNs, so their
+    #: links stay at the 1 Gbps access rate — this is what makes PRS plateau
+    #: while DTS keeps scaling, as in Figure 4.
+    gateway_bandwidth_bps: float = DEFAULT_LINK_BANDWIDTH
+    #: One-way propagation latency of a LAN hop.
+    link_latency_s: float = 0.0002
+    #: Uniform jitter bound added per hop.
+    link_jitter_s: float = 0.00005
+    #: Emulated WAN latency (paper's emulation keeps everything on one LAN).
+    wan_latency_s: float = 0.0002
+    #: Queue bound for the shared work queues.
+    queue_max_length: int = 50_000
+    #: Acknowledgement/prefetch settings (§5.2: batch acks).
+    ack_policy: AckPolicy = field(default_factory=lambda: AckPolicy(
+        consumer_batch=10, publisher_batch=50, prefetch_count=100))
+    #: Root seed for all derived random streams.
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.producer_nodes < 1 or self.consumer_nodes < 1:
+            raise ValueError("node pools must be non-empty")
+        if self.dsn_count < 1:
+            raise ValueError("dsn_count must be >= 1")
+        if self.link_bandwidth_bps <= 0:
+            raise ValueError("link bandwidth must be positive")
+
+
+class Testbed:
+    """The emulated OLCF ACE infrastructure."""
+
+    # Not a pytest test class despite the name.
+    __test__ = False
+
+    def __init__(self, env: Environment,
+                 config: Optional[TestbedConfig] = None) -> None:
+        self.env = env
+        self.config = config or TestbedConfig()
+        self.streams = RandomStreams(self.config.seed)
+        self.network = Network(env, "ace")
+        self.dns = DNSRegistry(env)
+
+        cfg = self.config
+        jitter_rng = self.streams.stream("link-jitter")
+
+        # --- facilities -----------------------------------------------------
+        self.hpc_facility = Facility(env, "olcf", self.network,
+                                     description="Oak Ridge Leadership Computing Facility")
+        self.exp_facility = Facility(env, "experimental", self.network,
+                                     description="Experimental facility (emulated on Andes)")
+
+        # --- core switch ------------------------------------------------------
+        self.core_switch = self.hpc_facility.add_host("olcf-core", SWITCH_SPEC,
+                                                       role="switch")
+
+        def attach(name: str, *, backbone: bool = False) -> None:
+            bandwidth = (cfg.backbone_bandwidth_bps if backbone
+                         else cfg.link_bandwidth_bps)
+            self.network.connect(name, "olcf-core",
+                                 bandwidth_bps=bandwidth,
+                                 latency_s=cfg.link_latency_s,
+                                 jitter_s=cfg.link_jitter_s,
+                                 rng=jitter_rng)
+
+        # --- DSNs + RabbitMQ broker cluster -------------------------------------
+        self.dsn_nodes = []
+        brokers = []
+        for i in range(cfg.dsn_count):
+            name = f"dsn{i+1}"
+            node = self.hpc_facility.add_host(name, DSN_SPEC, role="dsn")
+            attach(name, backbone=True)
+            self.dsn_nodes.append(node)
+            brokers.append(Broker(env, f"rmqs{i+1}", node))
+        self.broker_cluster = BrokerCluster(env, "rabbitmq", brokers, self.network)
+
+        # --- SciStream gateway DSNs (PRS) ------------------------------------------
+        self.producer_gateway = self.hpc_facility.add_host("gw-prod", GATEWAY_SPEC,
+                                                           role="gateway")
+        self.consumer_gateway = self.hpc_facility.add_host("gw-cons", GATEWAY_SPEC,
+                                                           role="gateway")
+        for gateway in ("gw-prod", "gw-cons"):
+            self.network.connect(gateway, "olcf-core",
+                                 bandwidth_bps=cfg.gateway_bandwidth_bps,
+                                 latency_s=cfg.link_latency_s,
+                                 jitter_s=cfg.link_jitter_s,
+                                 rng=jitter_rng)
+        # Dedicated overlay-tunnel segment between the two gateways.
+        self.network.connect("gw-prod", "gw-cons",
+                             bandwidth_bps=cfg.gateway_bandwidth_bps,
+                             latency_s=cfg.wan_latency_s,
+                             jitter_s=cfg.link_jitter_s,
+                             rng=jitter_rng)
+
+        # --- MSS front end: hardware LB + ingress node -------------------------------
+        lb_host = self.hpc_facility.add_host("lb1", LOAD_BALANCER_SPEC, role="lb")
+        ingress_host = self.hpc_facility.add_host("ingress1", INGRESS_SPEC,
+                                                  role="ingress")
+        attach("lb1", backbone=True)
+        attach("ingress1", backbone=True)
+        self.network.connect("lb1", "ingress1",
+                             bandwidth_bps=cfg.backbone_bandwidth_bps,
+                             latency_s=cfg.link_latency_s,
+                             jitter_s=cfg.link_jitter_s,
+                             rng=jitter_rng)
+        self.load_balancer = HardwareLoadBalancer(env, "olcf-lb", lb_host,
+                                                  tls=DEFAULT_TLS)
+        self.ingress = IngressController(env, "olivine-router", ingress_host,
+                                         tls=DEFAULT_TLS)
+
+        # --- OpenShift cluster over the DSNs -----------------------------------------
+        self.openshift = OpenShiftCluster(
+            env, "olivine",
+            worker_nodes=self.dsn_nodes,
+            ingress=self.ingress,
+            nodeports=self.hpc_facility.nodeports,
+        )
+        self.rabbitmq_pods = []
+        for i in range(cfg.dsn_count):
+            pod = self.openshift.schedule_pod("abc123", PodSpec(
+                name=f"rabbitmq-{i}", app="rabbitmq", cpus=12,
+                memory_bytes=32 * units.GIB, ports=(5672, 5671),
+                anti_affinity_group="rabbitmq"))
+            self.rabbitmq_pods.append(pod)
+
+        # --- S3M control plane (MSS provisioning) --------------------------------------
+        self.s3m = S3MService(env, allowed_projects={"abc123"})
+
+        # --- Andes compute cluster ------------------------------------------------------
+        total_nodes = cfg.producer_nodes + cfg.consumer_nodes + 1
+        self.andes = ComputeCluster(env, "andes", self.network,
+                                    node_count=total_nodes, spec=ANDES_SPEC)
+        for node in self.andes.nodes:
+            attach(node.name)
+            self.hpc_facility.adopt_host(node.name)
+        self.producer_pool = self.andes.nodes[:cfg.producer_nodes]
+        self.consumer_pool = self.andes.nodes[cfg.producer_nodes:
+                                              cfg.producer_nodes + cfg.consumer_nodes]
+        self.coordinator_node = self.andes.nodes[-1]
+        self.launcher = JobLauncher(self.andes)
+
+        # The experimental facility is emulated: its border is the producer
+        # side of the core switch (no distinct WAN hop by default).
+        self.exp_facility.adopt_host(self.producer_pool[0].name)
+        self.exp_facility.set_border(self.producer_pool[0].name)
+        self.hpc_facility.set_border("olcf-core")
+        self.wan = WideAreaNetwork(env, self.network,
+                                   latency_s=cfg.wan_latency_s,
+                                   bandwidth_bps=cfg.link_bandwidth_bps)
+
+    # -- convenience accessors -------------------------------------------------
+    @property
+    def dsn_names(self) -> list[str]:
+        return [node.name for node in self.dsn_nodes]
+
+    def producer_host(self, rank: int) -> str:
+        return self.producer_pool[rank % len(self.producer_pool)].name
+
+    def consumer_host(self, rank: int) -> str:
+        return self.consumer_pool[rank % len(self.consumer_pool)].name
+
+    def broker_host_name(self, broker: Broker) -> str:
+        return broker.host.name
+
+    def declare_work_queue(self, name: str, *, is_control: bool = False):
+        """Declare a bounded classic queue with the testbed's default policy."""
+        policy = QueuePolicy(max_length=self.config.queue_max_length)
+        return self.broker_cluster.declare_queue(name, policy=policy,
+                                                 is_control=is_control)
+
+    def describe(self) -> dict:
+        return {
+            "network": self.network.describe(),
+            "dsns": self.dsn_names,
+            "producer_nodes": [n.name for n in self.producer_pool],
+            "consumer_nodes": [n.name for n in self.consumer_pool],
+            "coordinator": self.coordinator_node.name,
+            "openshift": self.openshift.describe(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Testbed dsns={len(self.dsn_nodes)} "
+                f"producers={len(self.producer_pool)} "
+                f"consumers={len(self.consumer_pool)}>")

@@ -1,0 +1,149 @@
+"""Command-line front end (the StreamSim-equivalent driver).
+
+Examples::
+
+    repro-streamsim table1
+    repro-streamsim compare --workload Dstream --pattern work_sharing --consumers 4
+    repro-streamsim experiment --architecture MSS --workload Lstream \
+        --pattern work_sharing_feedback --consumers 8 --messages 50
+    repro-streamsim figure fig4 --messages 20 --consumers 1 2 4 8
+    repro-streamsim deployment
+
+Every subcommand prints an ASCII table; ``--csv PATH`` also writes the rows
+to a CSV file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core import (
+    compare_architectures,
+    deployment_comparison,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    table1_text,
+)
+from .core.study import PAPER_ARCHITECTURES
+from .harness import ExperimentConfig, run_experiment
+from .metrics import format_table, write_csv
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-streamsim",
+        description="Cross-facility data streaming architecture simulator "
+                    "(DTS / PRS / MSS reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print Table 1 (workload characteristics)")
+
+    deployment = sub.add_parser("deployment",
+                                help="print the architecture deployment comparison")
+    deployment.add_argument("--architectures", nargs="+",
+                            default=["DTS", "PRS(HAProxy)", "MSS"])
+
+    compare = sub.add_parser("compare", help="compare architectures on one scenario")
+    compare.add_argument("--workload", default="Dstream")
+    compare.add_argument("--pattern", default="work_sharing")
+    compare.add_argument("--consumers", type=int, default=4)
+    compare.add_argument("--messages", type=int, default=30)
+    compare.add_argument("--runs", type=int, default=1)
+    compare.add_argument("--seed", type=int, default=1)
+    compare.add_argument("--architectures", nargs="+",
+                         default=list(PAPER_ARCHITECTURES))
+    compare.add_argument("--csv", default=None)
+
+    experiment = sub.add_parser("experiment", help="run a single experiment point")
+    experiment.add_argument("--architecture", default="DTS")
+    experiment.add_argument("--workload", default="Dstream")
+    experiment.add_argument("--pattern", default="work_sharing")
+    experiment.add_argument("--consumers", type=int, default=2)
+    experiment.add_argument("--producers", type=int, default=None)
+    experiment.add_argument("--messages", type=int, default=50)
+    experiment.add_argument("--runs", type=int, default=1)
+    experiment.add_argument("--seed", type=int, default=1)
+    experiment.add_argument("--csv", default=None)
+
+    figure = sub.add_parser("figure", help="regenerate one of the paper's figures")
+    figure.add_argument("name", choices=["fig4", "fig5", "fig6", "fig7", "fig8"])
+    figure.add_argument("--messages", type=int, default=15)
+    figure.add_argument("--consumers", type=int, nargs="+",
+                        default=[1, 2, 4, 8, 16, 32, 64])
+    figure.add_argument("--runs", type=int, default=1)
+    figure.add_argument("--seed", type=int, default=1)
+    figure.add_argument("--csv", default=None)
+
+    return parser
+
+
+def _emit(rows: list[dict], *, title: str, csv_path: Optional[str]) -> None:
+    print(format_table(rows, title=title))
+    if csv_path:
+        write_csv(csv_path, rows)
+        print(f"\n[wrote {len(rows)} rows to {csv_path}]")
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    comparison = compare_architectures(
+        workload=args.workload, pattern=args.pattern, consumers=args.consumers,
+        architectures=args.architectures, messages_per_producer=args.messages,
+        runs=args.runs, seed=args.seed)
+    _emit(comparison.rows(),
+          title=f"{args.workload} / {args.pattern} @ {args.consumers} consumers",
+          csv_path=args.csv)
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    producers = args.producers
+    if producers is None:
+        producers = 1 if args.pattern.startswith("broadcast") else args.consumers
+    config = ExperimentConfig(
+        architecture=args.architecture, workload=args.workload,
+        pattern=args.pattern, num_producers=producers,
+        num_consumers=args.consumers, messages_per_producer=args.messages,
+        runs=args.runs, seed=args.seed)
+    result = run_experiment(config)
+    _emit([result.as_row()], title="Experiment result", csv_path=args.csv)
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    kwargs = dict(consumer_counts=args.consumers, runs=args.runs, seed=args.seed,
+                  messages_per_producer=args.messages)
+    generators = {"fig4": figure4, "fig5": figure5, "fig6": figure6,
+                  "fig7": figure7, "fig8": figure8}
+    data = generators[args.name](**kwargs)
+    _emit(data.rows, title=data.description, csv_path=args.csv)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        print(table1_text())
+        return 0
+    if args.command == "deployment":
+        reports = deployment_comparison(args.architectures)
+        print(format_table([r.as_row() for r in reports.values()],
+                           title="Architecture deployment comparison"))
+        return 0
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "figure":
+        return _cmd_figure(args)
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Facility/platform substrate: facilities, OpenShift, DSNs, load balancer,
+compute cluster and the S3M provisioning API.
+"""
+
+from .compute import ComputeCluster, JobLauncher, Placement
+from .facility import Facility, WideAreaNetwork
+from .loadbalancer import HardwareLoadBalancer
+from .openshift import (
+    IngressController,
+    NodePortService,
+    OpenShiftCluster,
+    Pod,
+    PodSpec,
+)
+from .s3m import ProvisionRequest, ProvisionResult, S3MService, Token
+from .specs import (
+    ANDES_SPEC,
+    DEFAULT_LINK_BANDWIDTH,
+    DSN_FULL_BANDWIDTH,
+    DSN_SPEC,
+    GATEWAY_SPEC,
+    INGRESS_SPEC,
+    LOAD_BALANCER_SPEC,
+)
+
+__all__ = [
+    "ComputeCluster",
+    "JobLauncher",
+    "Placement",
+    "Facility",
+    "WideAreaNetwork",
+    "HardwareLoadBalancer",
+    "OpenShiftCluster",
+    "IngressController",
+    "NodePortService",
+    "Pod",
+    "PodSpec",
+    "S3MService",
+    "Token",
+    "ProvisionRequest",
+    "ProvisionResult",
+    "ANDES_SPEC",
+    "DSN_SPEC",
+    "GATEWAY_SPEC",
+    "INGRESS_SPEC",
+    "LOAD_BALANCER_SPEC",
+    "DEFAULT_LINK_BANDWIDTH",
+    "DSN_FULL_BANDWIDTH",
+]

@@ -1,0 +1,111 @@
+"""Compute cluster model: the Andes nodes hosting producers and consumers.
+
+§5.2: 33 Andes nodes were used — 16 for producers, 16 for consumers and one
+for the coordinator.  Producers/consumers are placed round-robin across
+their node pool, and may be launched either as an MPI job (all ranks start
+together after a launch barrier) or as independent processes (non-MPI, as
+Deleria does), which affects start-up skew only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..simkit import Environment
+from ..netsim.network import Network
+from ..netsim.node import NetworkNode, NodeSpec
+from .specs import ANDES_SPEC
+
+__all__ = ["Placement", "ComputeCluster", "JobLauncher"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where one logical rank (producer or consumer) runs."""
+
+    rank: int
+    role: str
+    node_name: str
+    launch_delay_s: float
+
+
+class ComputeCluster:
+    """A pool of compute nodes (Andes) registered on the shared network."""
+
+    def __init__(self, env: Environment, name: str, network: Network, *,
+                 node_count: int = 33,
+                 spec: Optional[NodeSpec] = None,
+                 node_prefix: str = "andes") -> None:
+        if node_count <= 0:
+            raise ValueError("node_count must be positive")
+        self.env = env
+        self.name = name
+        self.network = network
+        self.spec = spec or ANDES_SPEC
+        self.node_prefix = node_prefix
+        self.nodes: list[NetworkNode] = [
+            network.add_node(f"{node_prefix}{i+1}", self.spec, role="compute")
+            for i in range(node_count)
+        ]
+
+    @property
+    def node_names(self) -> list[str]:
+        return [node.name for node in self.nodes]
+
+    def node(self, index: int) -> NetworkNode:
+        return self.nodes[index % len(self.nodes)]
+
+    def partition(self, producers: int, consumers: int,
+                  coordinator: bool = True) -> dict[str, list[NetworkNode]]:
+        """Split the node pool like the paper: 16 P / 16 C / 1 coordinator."""
+        needed = 2 + (1 if coordinator else 0)
+        if len(self.nodes) < needed:
+            raise ValueError("not enough nodes to partition")
+        reserve = 1 if coordinator else 0
+        usable = self.nodes[:len(self.nodes) - reserve]
+        half = max(1, len(usable) // 2)
+        pools = {
+            "producers": usable[:half],
+            "consumers": usable[half:] or usable[:half],
+        }
+        if coordinator:
+            pools["coordinator"] = [self.nodes[-1]]
+        return pools
+
+
+class JobLauncher:
+    """Places ranks on nodes and models MPI vs. non-MPI start-up skew."""
+
+    #: One-time cost of wiring up an MPI job (mpiexec + PMI exchange).
+    mpi_launch_overhead_s = 0.25
+    #: Per-rank skew when ranks are started as independent processes.
+    non_mpi_stagger_s = 0.002
+
+    def __init__(self, cluster: ComputeCluster) -> None:
+        self.cluster = cluster
+
+    def place(self, role: str, count: int, pool: list[NetworkNode], *,
+              use_mpi: bool) -> list[Placement]:
+        """Assign ``count`` ranks of ``role`` round-robin over ``pool``."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if not pool:
+            raise ValueError("empty node pool")
+        placements = []
+        for rank in range(count):
+            node = pool[rank % len(pool)]
+            if use_mpi:
+                delay = self.mpi_launch_overhead_s
+            else:
+                delay = self.non_mpi_stagger_s * rank
+            placements.append(Placement(rank=rank, role=role,
+                                        node_name=node.name,
+                                        launch_delay_s=delay))
+        return placements
+
+    def ranks_per_node(self, placements: list[Placement]) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for placement in placements:
+            counts[placement.node_name] = counts.get(placement.node_name, 0) + 1
+        return counts

@@ -1,0 +1,129 @@
+"""Facilities, security domains and the wide-area network between them.
+
+A :class:`Facility` groups the hosts of one administrative/security domain
+(an experimental facility such as SLAC or FRIB, or an HPC facility such as
+OLCF) together with its firewall and NAT gateway.  A :class:`WideAreaNetwork`
+joins facility border nodes with higher-latency links.
+
+The paper's evaluation emulates cross-facility streaming inside one site
+("producers and consumers reside within the same HPC cluster"), so the
+default testbed keeps WAN latency equal to the LAN latency; true multi-site
+latencies can be dialled in for what-if studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..simkit import Environment
+from ..netsim import Firewall, NATGateway, Network, NodePortAllocator
+from ..netsim.node import NetworkNode, NodeSpec
+from ..netsim import units
+
+__all__ = ["Facility", "WideAreaNetwork"]
+
+
+class Facility:
+    """One administrative security domain and the hosts inside it."""
+
+    def __init__(self, env: Environment, name: str, network: Network, *,
+                 description: str = "") -> None:
+        self.env = env
+        self.name = name
+        self.network = network
+        self.description = description
+        self.firewall = Firewall(f"{name}-firewall")
+        self.nat = NATGateway(f"{name}-nat")
+        self.nodeports = NodePortAllocator()
+        self._members: list[str] = []
+        self._border: Optional[str] = None
+
+    # -- membership -----------------------------------------------------------
+    def add_host(self, name: str, spec: Optional[NodeSpec] = None, *,
+                 role: str = "host") -> NetworkNode:
+        """Create a host inside this facility (registered on the shared network)."""
+        node = self.network.add_node(name, spec, role=role)
+        self._members.append(name)
+        return node
+
+    def adopt_host(self, name: str) -> None:
+        """Record an already-created network node as belonging to this facility."""
+        if name not in self.network.nodes:
+            raise KeyError(f"unknown node {name!r}")
+        if name not in self._members:
+            self._members.append(name)
+
+    @property
+    def hosts(self) -> list[str]:
+        return list(self._members)
+
+    def contains(self, node_name: str) -> bool:
+        return node_name in self._members
+
+    # -- border / WAN ------------------------------------------------------------
+    def set_border(self, node_name: str) -> None:
+        if not self.contains(node_name):
+            raise ValueError(f"{node_name!r} is not a member of facility {self.name!r}")
+        self._border = node_name
+
+    @property
+    def border(self) -> str:
+        if self._border is None:
+            raise RuntimeError(f"facility {self.name!r} has no border node")
+        return self._border
+
+    # -- security posture ------------------------------------------------------------
+    def open_ingress(self, source_cidr: str, host: str, port: int, *,
+                     description: str = "") -> None:
+        """Open a firewall pinhole for inbound traffic to a member host."""
+        if not self.contains(host):
+            raise ValueError(f"{host!r} is not a member of facility {self.name!r}")
+        self.firewall.allow(source_cidr, host, port, description=description)
+
+    def permits_ingress(self, source: str, host: str, port: int) -> bool:
+        return self.firewall.permits(source, host, port)
+
+    def administrative_burden(self) -> dict:
+        """Counts used for the deployment-feasibility comparison (§2, §6)."""
+        return {
+            "firewall_rules": self.firewall.rule_count,
+            "nat_mappings": self.nat.mapping_count,
+            "nodeports": len(self.nodeports),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Facility {self.name} hosts={len(self._members)}>"
+
+
+@dataclass
+class WideAreaNetwork:
+    """WAN segments joining facility border nodes."""
+
+    env: Environment
+    network: Network
+    #: Default ESnet-like one-way latency between facilities (seconds).  The
+    #: paper's single-site emulation uses the LAN latency instead.
+    latency_s: float = 0.0005
+    bandwidth_bps: float = units.gbps(1)
+    jitter_s: float = 0.0
+    segments: list[tuple[str, str]] = field(default_factory=list)
+
+    def join(self, facility_a: Facility, facility_b: Facility, *,
+             bandwidth_bps: Optional[float] = None,
+             latency_s: Optional[float] = None,
+             jitter_s: Optional[float] = None,
+             rng=None) -> None:
+        """Connect the two facilities' border nodes with a duplex WAN link."""
+        a, b = facility_a.border, facility_b.border
+        self.network.connect(
+            a, b,
+            bandwidth_bps=bandwidth_bps if bandwidth_bps is not None else self.bandwidth_bps,
+            latency_s=latency_s if latency_s is not None else self.latency_s,
+            jitter_s=jitter_s if jitter_s is not None else self.jitter_s,
+            rng=rng,
+        )
+        self.segments.append((a, b))
+
+    def crosses_wan(self, src_facility: Facility, dst_facility: Facility) -> bool:
+        return src_facility is not dst_facility

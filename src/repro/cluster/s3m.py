@@ -1,0 +1,131 @@
+"""Secure Scientific Service Mesh (S3M) provisioning API model.
+
+§3.1/§4.5: in MSS the streaming service is provisioned on demand through the
+S3M Streaming API.  A user presents a project-scoped, time-limited token;
+S3M validates it against the project allocation and policy, orchestrates the
+RabbitMQ cluster onto the requested number of DSNs, and returns an
+FQDN-based AMQPS URL the clients connect to.
+
+This is a control-plane component: it affects deployment feasibility and
+setup latency, not the per-message data path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+from ..simkit import Environment, Monitor
+
+__all__ = ["Token", "ProvisionRequest", "ProvisionResult", "S3MService"]
+
+_token_ids = itertools.count(1)
+
+
+@dataclass
+class Token:
+    """A project-scoped, time-limited access token."""
+
+    token_id: int
+    project: str
+    issued_at: float
+    lifetime_s: float
+    scopes: tuple[str, ...] = ("streaming",)
+
+    def expired(self, now: float) -> bool:
+        return now > self.issued_at + self.lifetime_s
+
+    def allows(self, scope: str) -> bool:
+        return scope in self.scopes
+
+
+@dataclass(frozen=True)
+class ProvisionRequest:
+    """Body of the ``provision_cluster`` call (§4.5)."""
+
+    kind: str = "general"
+    name: str = "rabbitmq"
+    cpus: int = 12
+    ram_gbs: int = 32
+    nodes: int = 3
+    max_msg_size: int = 536_870_912
+
+
+@dataclass
+class ProvisionResult:
+    """What S3M returns: the FQDN URL plus the backing deployment handle."""
+
+    url: str
+    hostname: str
+    port: int = 443
+    scheme: str = "amqps"
+    nodes: int = 3
+    details: dict = field(default_factory=dict)
+
+
+class S3MService:
+    """The Streaming API endpoint of the OLCF Secure Scientific Service Mesh."""
+
+    #: Token validation + Istio policy checks.
+    auth_latency_s = 0.05
+    #: Orchestrating pods/services/routes for one broker node.
+    provision_latency_per_node_s = 2.0
+
+    def __init__(self, env: Environment, *,
+                 domain: str = "apps.olivine.ccs.ornl.gov",
+                 allowed_projects: Optional[set[str]] = None) -> None:
+        self.env = env
+        self.domain = domain
+        self.allowed_projects = allowed_projects if allowed_projects is not None else set()
+        self.monitor = Monitor("s3m")
+        self.tokens: dict[int, Token] = {}
+        self.provisioned: list[ProvisionResult] = []
+
+    # -- auth -----------------------------------------------------------------
+    def issue_token(self, project: str, *, lifetime_s: float = 3600.0,
+                    scopes: tuple[str, ...] = ("streaming",)) -> Token:
+        if self.allowed_projects and project not in self.allowed_projects:
+            raise PermissionError(f"project {project!r} has no allocation")
+        token = Token(token_id=next(_token_ids), project=project,
+                      issued_at=self.env.now, lifetime_s=lifetime_s, scopes=scopes)
+        self.tokens[token.token_id] = token
+        self.monitor.count("tokens_issued")
+        return token
+
+    def validate(self, token: Token, scope: str = "streaming") -> bool:
+        known = self.tokens.get(token.token_id)
+        if known is None or known is not token:
+            return False
+        if token.expired(self.env.now):
+            return False
+        return token.allows(scope)
+
+    # -- provisioning -------------------------------------------------------------
+    def provision_cluster(self, token: Token,
+                          request: ProvisionRequest) -> Generator:
+        """Simulation process: provision a streaming service deployment.
+
+        Returns a :class:`ProvisionResult` with the FQDN URL, or raises
+        :class:`PermissionError` when the token is invalid/expired.
+        """
+        yield self.env.timeout(self.auth_latency_s)
+        if not self.validate(token, "streaming"):
+            self.monitor.count("rejected_requests")
+            raise PermissionError("invalid or expired token")
+        yield self.env.timeout(self.provision_latency_per_node_s * request.nodes)
+        hostname = f"{request.name}.{token.project}.{self.domain}"
+        result = ProvisionResult(
+            url=f"amqps://{hostname}:443",
+            hostname=hostname,
+            nodes=request.nodes,
+            details={
+                "kind": request.kind,
+                "cpus": request.cpus,
+                "ram_gbs": request.ram_gbs,
+                "max_msg_size": request.max_msg_size,
+            },
+        )
+        self.provisioned.append(result)
+        self.monitor.count("clusters_provisioned")
+        return result

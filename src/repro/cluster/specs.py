@@ -1,0 +1,79 @@
+"""Hardware specifications of the hosts used in the paper's deployment.
+
+§4.1: each Data Streaming Node (DSN) has two 32-core 2.70 GHz AMD EPYC 9334
+processors and 512 GiB of RAM, with 100 Gbps adapters currently limited to
+1 Gbps.  §5.2: each Andes compute node has two 16-core 3.0 GHz AMD EPYC 7302
+processors and 256 GiB of RAM, connected to the DSNs via 1 Gbps Ethernet.
+"""
+
+from __future__ import annotations
+
+from ..netsim.node import NodeSpec
+from ..netsim import units
+
+__all__ = [
+    "DSN_SPEC",
+    "ANDES_SPEC",
+    "LOAD_BALANCER_SPEC",
+    "INGRESS_SPEC",
+    "GATEWAY_SPEC",
+    "DEFAULT_LINK_BANDWIDTH",
+    "DSN_FULL_BANDWIDTH",
+]
+
+#: The 1 Gbps limitation discussed in §4.1 / §6.
+DEFAULT_LINK_BANDWIDTH = units.gbps(1)
+
+#: The nominal 100 Gbps adapters (used by the link-speed ablation).
+DSN_FULL_BANDWIDTH = units.gbps(100)
+
+#: Data Streaming Node: 64 cores, 512 GiB.  RabbitMQ pods get 12 CPUs each,
+#: so the effective concurrency for a broker pod is limited accordingly.
+DSN_SPEC = NodeSpec(
+    cores=64,
+    memory_bytes=512 * units.GIB,
+    per_message_seconds=25e-6,
+    per_byte_seconds=2.0e-10,
+    concurrency=12,
+)
+
+#: Andes compute node: 32 cores, 256 GiB.
+ANDES_SPEC = NodeSpec(
+    cores=32,
+    memory_bytes=256 * units.GIB,
+    per_message_seconds=15e-6,
+    per_byte_seconds=1.5e-10,
+    concurrency=8,
+)
+
+#: Dedicated hardware load balancer in front of the OpenShift cluster (§4.5).
+#: L4 forwarding: cheap per message, moderate per byte.
+LOAD_BALANCER_SPEC = NodeSpec(
+    cores=16,
+    memory_bytes=64 * units.GIB,
+    per_message_seconds=50e-6,
+    per_byte_seconds=2.0e-9,
+    concurrency=4,
+)
+
+#: OpenShift ingress controller node (runs on separate ingress nodes, §4.5).
+#: L7 route termination + TLS re-encryption: this is the capacity that makes
+#: MSS cap out early in the paper, so it is deliberately the narrowest
+#: middleware element (~2.4 Gb/s of proxying capacity shared by every MSS
+#: flow in both directions).
+INGRESS_SPEC = NodeSpec(
+    cores=16,
+    memory_bytes=64 * units.GIB,
+    per_message_seconds=100e-6,
+    per_byte_seconds=1.0e-8,
+    concurrency=2,
+)
+
+#: SciStream gateway node hosting the on-demand proxies.
+GATEWAY_SPEC = NodeSpec(
+    cores=32,
+    memory_bytes=256 * units.GIB,
+    per_message_seconds=20e-6,
+    per_byte_seconds=2.0e-10,
+    concurrency=16,
+)

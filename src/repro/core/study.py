@@ -1,0 +1,130 @@
+"""Comparative-study API: the paper's primary contribution as a library.
+
+The paper's contribution is not a single algorithm but a *controlled
+comparison*: deploy DTS, PRS and MSS on the same infrastructure, drive them
+with the same workloads and messaging patterns, and quantify throughput,
+RTT and overhead relative to DTS.  :func:`compare_architectures` packages
+exactly that loop; :func:`deployment_comparison` reproduces the qualitative
+feasibility comparison of §2/§6 from actually-deployed architectures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional, Sequence
+
+from ..architectures import (
+    ARCHITECTURES,
+    DeploymentReport,
+    Testbed,
+    TestbedConfig,
+    make_architecture,
+)
+from ..harness import Experiment, ExperimentConfig, ExperimentResult
+from ..metrics import OverheadResult, overhead_table
+from ..simkit import Environment
+
+__all__ = ["ComparisonResult", "compare_architectures", "deployment_comparison",
+           "PAPER_ARCHITECTURES", "BASELINE_ARCHITECTURE"]
+
+#: The architecture labels evaluated in the paper's figures.
+PAPER_ARCHITECTURES = ("DTS", "PRS(Stunnel)", "PRS(HAProxy)",
+                       "PRS(HAProxy,4conns)", "MSS")
+
+#: §5.2: DTS is the overhead baseline.
+BASELINE_ARCHITECTURE = "DTS"
+
+
+@dataclass
+class ComparisonResult:
+    """Per-architecture results plus overhead factors for one scenario."""
+
+    config: ExperimentConfig
+    results: dict[str, ExperimentResult] = field(default_factory=dict)
+    baseline: str = BASELINE_ARCHITECTURE
+
+    def throughput_overheads(self) -> list[OverheadResult]:
+        values = {label: result.throughput_msgs_per_s
+                  for label, result in self.results.items() if result.feasible}
+        if self.baseline not in values:
+            return []
+        return overhead_table(values, baseline=self.baseline,
+                              metric="throughput_msgs_per_s", higher_is_better=True)
+
+    def rtt_overheads(self) -> list[OverheadResult]:
+        values = {label: result.median_rtt_s
+                  for label, result in self.results.items()
+                  if result.feasible and result.rtt_samples.size}
+        if self.baseline not in values:
+            return []
+        return overhead_table(values, baseline=self.baseline,
+                              metric="median_rtt_s", higher_is_better=False)
+
+    def rows(self) -> list[dict]:
+        rows = []
+        overhead = {o.architecture: o.factor for o in self.throughput_overheads()}
+        rtt_overhead = {o.architecture: o.factor for o in self.rtt_overheads()}
+        for label, result in self.results.items():
+            row = result.as_row()
+            row["throughput_overhead_vs_dts"] = overhead.get(label, 1.0 if label == self.baseline else float("nan"))
+            row["rtt_overhead_vs_dts"] = rtt_overhead.get(label, 1.0 if label == self.baseline else float("nan"))
+            rows.append(row)
+        return rows
+
+
+def compare_architectures(*, workload: str = "Dstream",
+                          pattern: str = "work_sharing",
+                          consumers: int = 4,
+                          producers: Optional[int] = None,
+                          architectures: Sequence[str] = PAPER_ARCHITECTURES,
+                          messages_per_producer: int = 30,
+                          runs: int = 1,
+                          seed: int = 1,
+                          baseline: str = BASELINE_ARCHITECTURE,
+                          testbed: Optional[TestbedConfig] = None,
+                          **config_overrides) -> ComparisonResult:
+    """Run the same scenario through several architectures and compare.
+
+    Returns a :class:`ComparisonResult` whose ``results`` map architecture
+    labels to averaged :class:`~repro.harness.results.ExperimentResult`.
+    """
+    if pattern in ("broadcast", "broadcast_gather"):
+        producer_count = 1
+    else:
+        producer_count = producers if producers is not None else consumers
+    config = ExperimentConfig(
+        architecture=baseline,
+        workload=workload,
+        pattern=pattern,
+        num_producers=producer_count,
+        num_consumers=consumers,
+        messages_per_producer=messages_per_producer,
+        runs=runs,
+        seed=seed,
+        testbed=testbed or TestbedConfig(),
+        **config_overrides,
+    )
+    comparison = ComparisonResult(config=config, baseline=baseline)
+    for label in architectures:
+        comparison.results[label] = Experiment(config.with_architecture(label)).run()
+    return comparison
+
+
+def deployment_comparison(architectures: Iterable[str] = PAPER_ARCHITECTURES, *,
+                          testbed_config: Optional[TestbedConfig] = None
+                          ) -> dict[str, DeploymentReport]:
+    """Deploy each architecture (control plane only) and report feasibility.
+
+    This regenerates the qualitative §2/§6 comparison — hop counts, firewall
+    rules, exposed ports, administrative and user steps — from real deployed
+    objects rather than prose.
+    """
+    reports: dict[str, DeploymentReport] = {}
+    config = testbed_config or TestbedConfig(producer_nodes=2, consumer_nodes=2)
+    for label in dict.fromkeys(architectures):
+        env = Environment()
+        testbed = Testbed(env, replace(config, seed=config.seed))
+        architecture = make_architecture(label, testbed)
+        env.run(until=env.process(architecture.deploy()))
+        reports[label] = architecture.deployment_report()
+    return reports

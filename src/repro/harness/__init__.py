@@ -1,0 +1,21 @@
+"""StreamSim-equivalent experiment harness: configs, coordinator, runner,
+sweeps and result containers."""
+
+from .config import PATTERN_NAMES, ExperimentConfig
+from .coordinator import Coordinator
+from .experiment import Experiment, run_experiment
+from .results import ExperimentResult, RunResult
+from .sweep import PAPER_CONSUMER_COUNTS, ConsumerSweep, SweepResult
+
+__all__ = [
+    "ExperimentConfig",
+    "PATTERN_NAMES",
+    "Coordinator",
+    "Experiment",
+    "run_experiment",
+    "RunResult",
+    "ExperimentResult",
+    "ConsumerSweep",
+    "SweepResult",
+    "PAPER_CONSUMER_COUNTS",
+]

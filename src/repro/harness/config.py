@@ -1,0 +1,114 @@
+"""Experiment configuration.
+
+An :class:`ExperimentConfig` is the single description of one measurement
+point: which architecture, workload and messaging pattern to run, how many
+producers/consumers, how many messages, how many repeated runs to average
+(the paper uses three), and the testbed parameters.
+
+The paper streams up to 128K messages per run on real hardware; the
+simulated default is much smaller so a full figure sweep finishes in
+seconds — pass ``messages_per_producer`` explicitly to scale up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..architectures import ARCHITECTURES, TestbedConfig
+from ..workloads import WORKLOADS
+
+__all__ = ["ExperimentConfig", "PATTERN_NAMES"]
+
+#: Messaging patterns implemented by :mod:`repro.patterns`.
+PATTERN_NAMES = ("work_sharing", "work_sharing_feedback", "broadcast", "broadcast_gather")
+
+
+@dataclass
+class ExperimentConfig:
+    """One experiment point (architecture x workload x pattern x scale)."""
+
+    architecture: str = "DTS"
+    workload: str = "Dstream"
+    pattern: str = "work_sharing"
+    num_producers: int = 1
+    num_consumers: int = 1
+    #: Messages each producer publishes per run.
+    messages_per_producer: int = 50
+    #: Independent repetitions averaged into the reported point (§5.2: three).
+    runs: int = 1
+    #: Root random seed; each run derives its own seed from it.
+    seed: int = 1
+    #: Number of shared work queues for the work-sharing patterns (§5.2: two).
+    work_queue_count: int = 2
+    #: Pace producers at the workload's nominal data rate instead of full speed.
+    rate_limited: bool = False
+    #: Let Deleria-style workloads vary events/message (evaluation default: fixed).
+    vary_events: bool = False
+    #: Per-message consumer compute time (0 = pure forwarding benchmark).
+    consumer_processing_time_s: float = 0.0
+    #: Request/reply window per producer in the feedback and gather patterns:
+    #: a producer stops publishing while this many requests await replies
+    #: (0 = unlimited; real master-worker clients always bound this).
+    max_outstanding_requests: int = 50
+    #: Abort a run after this much simulated time even if targets are unmet.
+    max_sim_time_s: float = 3600.0
+    #: Testbed parameters (link speeds, pool sizes, ack policy...).
+    testbed: TestbedConfig = field(default_factory=TestbedConfig)
+    #: Extra keyword arguments forwarded to the architecture factory.
+    architecture_options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.architecture not in ARCHITECTURES:
+            raise ValueError(f"unknown architecture {self.architecture!r}; "
+                             f"expected one of {sorted(ARCHITECTURES)}")
+        if self.workload not in WORKLOADS:
+            raise ValueError(f"unknown workload {self.workload!r}; "
+                             f"expected one of {sorted(WORKLOADS)}")
+        if self.pattern not in PATTERN_NAMES:
+            raise ValueError(f"unknown pattern {self.pattern!r}; "
+                             f"expected one of {PATTERN_NAMES}")
+        if self.num_producers < 1 or self.num_consumers < 1:
+            raise ValueError("producer/consumer counts must be >= 1")
+        if self.messages_per_producer < 1:
+            raise ValueError("messages_per_producer must be >= 1")
+        if self.runs < 1:
+            raise ValueError("runs must be >= 1")
+        if self.work_queue_count < 1:
+            raise ValueError("work_queue_count must be >= 1")
+        if self.pattern in ("broadcast", "broadcast_gather") and self.num_producers != 1:
+            raise ValueError("broadcast patterns use exactly one producer (§5.5)")
+
+    # -- derived quantities -----------------------------------------------------------
+    @property
+    def total_messages(self) -> int:
+        """Messages published per run (before any fan-out)."""
+        return self.num_producers * self.messages_per_producer
+
+    def with_consumers(self, consumers: int, *,
+                       equal_producers: bool = True) -> "ExperimentConfig":
+        """Copy of this config at a different consumer count (for sweeps)."""
+        producers = self.num_producers
+        if equal_producers and self.pattern not in ("broadcast", "broadcast_gather"):
+            producers = consumers
+        return replace(self, num_consumers=consumers, num_producers=producers)
+
+    def with_architecture(self, label: str, **options) -> "ExperimentConfig":
+        merged = dict(self.architecture_options)
+        merged.update(options)
+        return replace(self, architecture=label, architecture_options=merged)
+
+    def run_seed(self, run_index: int) -> int:
+        return self.seed * 1000 + run_index
+
+    def describe(self) -> dict:
+        return {
+            "architecture": self.architecture,
+            "workload": self.workload,
+            "pattern": self.pattern,
+            "producers": self.num_producers,
+            "consumers": self.num_consumers,
+            "messages_per_producer": self.messages_per_producer,
+            "runs": self.runs,
+            "seed": self.seed,
+        }

@@ -1,0 +1,154 @@
+"""Experiment runner: one measurement point, repeated runs, averaged.
+
+This is the simulated counterpart of the paper's StreamSim driver: for each
+run it builds a fresh testbed, deploys the requested architecture, lets the
+messaging pattern wire the queues and applications, starts consumers before
+producers, runs the simulation until the expected messages (and replies)
+have been observed, and reduces the coordinator's records into throughput /
+RTT metrics.  Each experiment point is repeated ``runs`` times (the paper
+averages three runs) with derived seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from ..architectures import DeploymentError, Testbed, make_architecture
+from ..metrics import compute_rtt, compute_throughput
+from ..patterns import ExperimentContext, make_pattern
+from ..simkit import AnyOf, Environment
+from ..workloads import WorkloadGenerator, get_workload
+from .config import ExperimentConfig
+from .coordinator import Coordinator
+from .results import ExperimentResult, RunResult
+
+__all__ = ["Experiment", "run_experiment"]
+
+
+class Experiment:
+    """Runs one experiment point (possibly several times) and averages."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+
+    # -- single run -----------------------------------------------------------
+    def run_single(self, run_index: int = 0) -> RunResult:
+        config = self.config
+        env = Environment()
+        testbed_config = replace(config.testbed, seed=config.run_seed(run_index))
+        testbed = Testbed(env, testbed_config)
+        architecture = make_architecture(config.architecture, testbed,
+                                         **config.architecture_options)
+        env.run(until=env.process(architecture.deploy()))
+
+        workload = get_workload(config.workload)
+        pattern = make_pattern(config.pattern)
+        coordinator = Coordinator(
+            env,
+            expected_consumed=pattern.expected_consumed(config),
+            expected_replies=pattern.expected_replies(config))
+        ctx = ExperimentContext(env=env, testbed=testbed,
+                                architecture=architecture, config=config,
+                                workload=workload, coordinator=coordinator)
+
+        base_result = RunResult(
+            architecture=config.architecture, workload=config.workload,
+            pattern=config.pattern, num_producers=config.num_producers,
+            num_consumers=config.num_consumers)
+
+        try:
+            self._attach_endpoints(ctx)
+        except DeploymentError as exc:
+            base_result.feasible = False
+            base_result.infeasible_reason = str(exc)
+            base_result.completed = False
+            return base_result
+
+        pattern.build(ctx)
+
+        deploy_end = env.now
+        deadline = env.timeout(config.max_sim_time_s)
+        env.run(until=AnyOf(env, [coordinator.done, deadline]))
+
+        return self._reduce(ctx, base_result, deploy_end)
+
+    # -- helpers -----------------------------------------------------------
+    def _attach_endpoints(self, ctx: ExperimentContext) -> None:
+        config = self.config
+        testbed = ctx.testbed
+        workload = ctx.workload
+        launcher = testbed.launcher
+
+        producer_places = launcher.place(
+            "producer", config.num_producers, testbed.producer_pool,
+            use_mpi=workload.mpi_producers)
+        consumer_places = launcher.place(
+            "consumer", config.num_consumers, testbed.consumer_pool,
+            use_mpi=workload.mpi_consumers)
+
+        for placement in consumer_places:
+            endpoints = ctx.architecture.attach_consumer(
+                placement.node_name, ctx.consumer_name(placement.rank))
+            ctx.consumer_endpoints.append(endpoints)
+            ctx.consumer_launch_delays.append(placement.launch_delay_s)
+
+        for placement in producer_places:
+            endpoints = ctx.architecture.attach_producer(
+                placement.node_name, ctx.producer_name(placement.rank))
+            ctx.producer_endpoints.append(endpoints)
+            ctx.producer_launch_delays.append(placement.launch_delay_s)
+            rng = testbed.streams.stream("workload", placement.rank)
+            ctx.producer_generators.append(WorkloadGenerator(
+                workload, rng=rng,
+                vary_events=config.vary_events,
+                rate_limited=config.rate_limited,
+                num_producers=config.num_producers))
+
+    def _reduce(self, ctx: ExperimentContext, result: RunResult,
+                deploy_end: float) -> RunResult:
+        coordinator = ctx.coordinator
+        start, end = coordinator.measurement_window()
+        result.published = coordinator.published
+        result.consumed = coordinator.consumed
+        result.replies = coordinator.replies
+        result.failed_publishes = coordinator.failed_publishes
+        result.duration_s = max(0.0, end - start)
+        result.sim_time_s = ctx.env.now
+        result.completed = coordinator.targets_met()
+        result.throughput = compute_throughput(
+            messages=coordinator.consumed,
+            payload_bytes=coordinator.consumed_payload_bytes,
+            first_publish_s=start,
+            last_consume_s=end)
+        if coordinator.rtt_samples:
+            result.rtt = compute_rtt(coordinator.rtt_samples)
+        if coordinator.latency_samples:
+            result.latency = compute_rtt(coordinator.latency_samples)
+        result.consumer_balance = coordinator.balance_across_consumers()
+        result.extra = {
+            "deploy_end_s": deploy_end,
+            "coordinator": coordinator.snapshot(),
+        }
+        return result
+
+    # -- repeated runs -----------------------------------------------------------
+    def run(self) -> ExperimentResult:
+        config = self.config
+        result = ExperimentResult(
+            architecture=config.architecture, workload=config.workload,
+            pattern=config.pattern, num_producers=config.num_producers,
+            num_consumers=config.num_consumers)
+        for run_index in range(config.runs):
+            result.runs.append(self.run_single(run_index))
+        return result
+
+
+def run_experiment(config: Optional[ExperimentConfig] = None,
+                   **overrides) -> ExperimentResult:
+    """Convenience wrapper: build a config (or override one) and run it."""
+    if config is None:
+        config = ExperimentConfig(**overrides)
+    elif overrides:
+        config = replace(config, **overrides)
+    return Experiment(config).run()

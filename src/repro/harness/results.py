@@ -1,0 +1,143 @@
+"""Result containers for single runs and averaged experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..metrics import RTTResult, ThroughputResult, compute_rtt
+
+__all__ = ["RunResult", "ExperimentResult"]
+
+
+@dataclass
+class RunResult:
+    """Measurements from one run of one experiment point."""
+
+    architecture: str
+    workload: str
+    pattern: str
+    num_producers: int
+    num_consumers: int
+    feasible: bool = True
+    infeasible_reason: str = ""
+    published: int = 0
+    consumed: int = 0
+    replies: int = 0
+    failed_publishes: int = 0
+    duration_s: float = 0.0
+    sim_time_s: float = 0.0
+    completed: bool = True
+    throughput: Optional[ThroughputResult] = None
+    rtt: Optional[RTTResult] = None
+    latency: Optional[RTTResult] = None
+    consumer_balance: float = float("nan")
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def throughput_msgs_per_s(self) -> float:
+        return self.throughput.msgs_per_s if self.throughput else 0.0
+
+    @property
+    def median_rtt_s(self) -> float:
+        return self.rtt.median_s if self.rtt and self.rtt.count else float("nan")
+
+    def as_dict(self) -> dict:
+        return {
+            "architecture": self.architecture,
+            "workload": self.workload,
+            "pattern": self.pattern,
+            "producers": self.num_producers,
+            "consumers": self.num_consumers,
+            "feasible": self.feasible,
+            "published": self.published,
+            "consumed": self.consumed,
+            "replies": self.replies,
+            "throughput_msgs_per_s": self.throughput_msgs_per_s,
+            "median_rtt_s": self.median_rtt_s,
+            "duration_s": self.duration_s,
+            "completed": self.completed,
+        }
+
+
+@dataclass
+class ExperimentResult:
+    """Averaged measurements over the runs of one experiment point."""
+
+    architecture: str
+    workload: str
+    pattern: str
+    num_producers: int
+    num_consumers: int
+    runs: list[RunResult] = field(default_factory=list)
+
+    # -- feasibility -----------------------------------------------------------
+    @property
+    def feasible(self) -> bool:
+        return bool(self.runs) and all(run.feasible for run in self.runs)
+
+    @property
+    def infeasible_reason(self) -> str:
+        for run in self.runs:
+            if not run.feasible:
+                return run.infeasible_reason
+        return ""
+
+    # -- aggregates -----------------------------------------------------------
+    def _feasible_runs(self) -> list[RunResult]:
+        return [run for run in self.runs if run.feasible]
+
+    @property
+    def throughput_msgs_per_s(self) -> float:
+        runs = self._feasible_runs()
+        if not runs:
+            return float("nan")
+        return float(np.mean([run.throughput_msgs_per_s for run in runs]))
+
+    @property
+    def throughput_gbps(self) -> float:
+        runs = [r for r in self._feasible_runs() if r.throughput]
+        if not runs:
+            return float("nan")
+        return float(np.mean([run.throughput.gbits_per_s for run in runs]))
+
+    @property
+    def median_rtt_s(self) -> float:
+        values = [run.median_rtt_s for run in self._feasible_runs()
+                  if run.rtt is not None and run.rtt.count]
+        if not values:
+            return float("nan")
+        return float(np.mean(values))
+
+    @property
+    def rtt_samples(self) -> np.ndarray:
+        """All RTT samples pooled across runs (for CDF figures)."""
+        chunks = [run.rtt.samples for run in self._feasible_runs()
+                  if run.rtt is not None and run.rtt.count]
+        if not chunks:
+            return np.array([])
+        return np.concatenate(chunks)
+
+    def pooled_rtt(self) -> RTTResult:
+        return compute_rtt(self.rtt_samples)
+
+    @property
+    def consumed(self) -> int:
+        return sum(run.consumed for run in self._feasible_runs())
+
+    def as_row(self) -> dict:
+        """One figure/table row for this experiment point."""
+        return {
+            "architecture": self.architecture,
+            "workload": self.workload,
+            "pattern": self.pattern,
+            "consumers": self.num_consumers,
+            "producers": self.num_producers,
+            "feasible": self.feasible,
+            "throughput_msgs_per_s": self.throughput_msgs_per_s,
+            "throughput_gbps": self.throughput_gbps,
+            "median_rtt_s": self.median_rtt_s,
+            "runs": len(self.runs),
+        }

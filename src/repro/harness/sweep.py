@@ -1,0 +1,98 @@
+"""Parameter sweeps: the consumer-count scaling studies behind every figure.
+
+The paper varies the number of consumers from 1 to 64 (powers of two) and,
+except for broadcast and gather, keeps the number of producers equal to the
+number of consumers (§5.2).  A :class:`ConsumerSweep` runs one experiment
+per (architecture, consumer-count) pair and collects the results in a form
+the figure generators consume directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Sequence
+
+from .config import ExperimentConfig
+from .experiment import Experiment
+from .results import ExperimentResult
+
+__all__ = ["PAPER_CONSUMER_COUNTS", "SweepResult", "ConsumerSweep"]
+
+#: The x-axis of Figures 4–8.
+PAPER_CONSUMER_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+
+@dataclass
+class SweepResult:
+    """Results of a consumer sweep over several architectures."""
+
+    workload: str
+    pattern: str
+    consumer_counts: tuple[int, ...]
+    #: results[architecture][consumers] -> ExperimentResult
+    results: dict[str, dict[int, ExperimentResult]] = field(default_factory=dict)
+
+    def series(self, architecture: str, metric: str = "throughput_msgs_per_s"
+               ) -> list[tuple[int, float]]:
+        """(consumers, value) pairs for one architecture; infeasible = omitted."""
+        points = []
+        for consumers in self.consumer_counts:
+            result = self.results.get(architecture, {}).get(consumers)
+            if result is None or not result.feasible:
+                continue
+            points.append((consumers, getattr(result, metric)))
+        return points
+
+    def architectures(self) -> list[str]:
+        return list(self.results)
+
+    def rows(self, metric: str = "throughput_msgs_per_s") -> list[dict]:
+        """Long-format rows (architecture, consumers, value) for tables/CSV."""
+        rows = []
+        for architecture, by_consumers in self.results.items():
+            for consumers in self.consumer_counts:
+                result = by_consumers.get(consumers)
+                if result is None:
+                    continue
+                rows.append({
+                    "workload": self.workload,
+                    "pattern": self.pattern,
+                    "architecture": architecture,
+                    "consumers": consumers,
+                    "feasible": result.feasible,
+                    metric: getattr(result, metric) if result.feasible else float("nan"),
+                })
+        return rows
+
+    def get(self, architecture: str, consumers: int) -> Optional[ExperimentResult]:
+        return self.results.get(architecture, {}).get(consumers)
+
+
+class ConsumerSweep:
+    """Sweep consumer counts for several architectures from one base config."""
+
+    def __init__(self, base_config: ExperimentConfig, *,
+                 architectures: Sequence[str],
+                 consumer_counts: Iterable[int] = PAPER_CONSUMER_COUNTS,
+                 equal_producers: bool = True) -> None:
+        self.base_config = base_config
+        self.architectures = list(architectures)
+        self.consumer_counts = tuple(consumer_counts)
+        self.equal_producers = equal_producers
+
+    def run(self, *, progress: Optional[Callable[[str, int], None]] = None
+            ) -> SweepResult:
+        sweep = SweepResult(workload=self.base_config.workload,
+                            pattern=self.base_config.pattern,
+                            consumer_counts=self.consumer_counts)
+        for label in self.architectures:
+            sweep.results[label] = {}
+            for consumers in self.consumer_counts:
+                if progress is not None:
+                    progress(label, consumers)
+                config = (self.base_config
+                          .with_architecture(label)
+                          .with_consumers(consumers,
+                                          equal_producers=self.equal_producers))
+                sweep.results[label][consumers] = Experiment(config).run()
+        return sweep

@@ -1,0 +1,25 @@
+"""Measurement reduction: throughput, RTT distributions, overhead, export."""
+
+from .export import format_table, format_value, to_csv, write_csv
+from .overhead import OverheadResult, overhead_factor, overhead_table
+from .rtt import RTTResult, compute_rtt
+from .stats import SummaryStats, empirical_cdf, percentile, summarize
+from .throughput import ThroughputResult, compute_throughput
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "percentile",
+    "empirical_cdf",
+    "ThroughputResult",
+    "compute_throughput",
+    "RTTResult",
+    "compute_rtt",
+    "OverheadResult",
+    "overhead_factor",
+    "overhead_table",
+    "format_table",
+    "format_value",
+    "to_csv",
+    "write_csv",
+]

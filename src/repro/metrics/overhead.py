@@ -1,0 +1,75 @@
+"""Streaming overhead relative to the DTS baseline.
+
+§5.2: "from the measured metrics, we calculate the streaming overhead of
+the other two architectures relative to DTS, since DTS serves as a baseline
+with direct connectivity and no intermediate proxies."  For throughput
+(higher is better) the overhead factor is ``baseline / other``; for RTT
+(lower is better) it is ``other / baseline``.  A factor of 1.0 means parity
+with DTS; the paper reports up to 2.5× (work sharing) and 6.9× (MSS with
+feedback).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = ["OverheadResult", "overhead_factor", "overhead_table"]
+
+
+@dataclass(frozen=True)
+class OverheadResult:
+    """Overhead of one architecture vs. the baseline for one metric."""
+
+    architecture: str
+    baseline: str
+    metric: str
+    baseline_value: float
+    value: float
+    factor: float
+
+    def as_dict(self) -> dict:
+        return {
+            "architecture": self.architecture,
+            "baseline": self.baseline,
+            "metric": self.metric,
+            "baseline_value": self.baseline_value,
+            "value": self.value,
+            "overhead_factor": self.factor,
+        }
+
+
+def overhead_factor(baseline_value: float, value: float, *,
+                    higher_is_better: bool) -> float:
+    """Overhead factor of ``value`` relative to ``baseline_value``.
+
+    Returns ``nan`` when either value is non-positive or missing.
+    """
+    if baseline_value is None or value is None:
+        return float("nan")
+    if baseline_value <= 0 or value <= 0:
+        return float("nan")
+    if higher_is_better:
+        return baseline_value / value
+    return value / baseline_value
+
+
+def overhead_table(values: Mapping[str, float], *, baseline: str,
+                   metric: str, higher_is_better: bool) -> list[OverheadResult]:
+    """Overhead of every architecture in ``values`` against ``baseline``."""
+    if baseline not in values:
+        raise KeyError(f"baseline {baseline!r} missing from values")
+    base = values[baseline]
+    results = []
+    for architecture, value in values.items():
+        if architecture == baseline:
+            continue
+        results.append(OverheadResult(
+            architecture=architecture,
+            baseline=baseline,
+            metric=metric,
+            baseline_value=base,
+            value=value,
+            factor=overhead_factor(base, value, higher_is_better=higher_is_better),
+        ))
+    return results

@@ -1,0 +1,54 @@
+"""Round-trip-time statistics (Figures 5, 6, 7b and 8).
+
+§5.2: "RTT is the time it takes for a message to travel from a producer to
+a consumer and for the corresponding reply to return to the producer."  The
+harness records one RTT sample per reply received; this module reduces the
+samples to the median (Figure 6 / 7b) and the empirical CDF (Figure 5 / 8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .stats import SummaryStats, empirical_cdf, summarize
+
+__all__ = ["RTTResult", "compute_rtt"]
+
+
+@dataclass(frozen=True)
+class RTTResult:
+    """RTT distribution summary for one experiment run."""
+
+    summary: SummaryStats
+    cdf_x: np.ndarray = field(repr=False)
+    cdf_p: np.ndarray = field(repr=False)
+    samples: np.ndarray = field(repr=False)
+
+    @property
+    def median_s(self) -> float:
+        return self.summary.median
+
+    @property
+    def count(self) -> int:
+        return self.summary.count
+
+    def fraction_under(self, threshold_s: float) -> float:
+        """Fraction of messages with RTT below ``threshold_s`` (CDF lookup)."""
+        if self.samples.size == 0:
+            return float("nan")
+        return float(np.mean(self.samples <= threshold_s))
+
+    def as_dict(self) -> dict:
+        payload = self.summary.as_dict()
+        payload["median_s"] = self.median_s
+        return payload
+
+
+def compute_rtt(samples: Iterable[float], *, cdf_points: int = 200) -> RTTResult:
+    """Reduce raw RTT samples to the summary + CDF used by the figures."""
+    array = np.asarray(list(samples), dtype=float)
+    x, p = empirical_cdf(array, points=cdf_points)
+    return RTTResult(summary=summarize(array), cdf_x=x, cdf_p=p, samples=array)

@@ -1,0 +1,86 @@
+"""Basic statistics helpers shared by the metric calculators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["SummaryStats", "summarize", "empirical_cdf", "percentile"]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Five-number-plus summary of a sample."""
+
+    count: int
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    p10: float
+    p90: float
+    p99: float
+    std: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p10": self.p10,
+            "p90": self.p90,
+            "p99": self.p99,
+            "std": self.std,
+        }
+
+
+def _as_array(values: Iterable[float]) -> np.ndarray:
+    return np.asarray(list(values), dtype=float)
+
+
+def summarize(values: Iterable[float]) -> SummaryStats:
+    """Summary statistics of a sample (NaNs for an empty sample)."""
+    array = _as_array(values)
+    if array.size == 0:
+        nan = float("nan")
+        return SummaryStats(0, nan, nan, nan, nan, nan, nan, nan, nan)
+    return SummaryStats(
+        count=int(array.size),
+        mean=float(np.mean(array)),
+        median=float(np.median(array)),
+        minimum=float(np.min(array)),
+        maximum=float(np.max(array)),
+        p10=float(np.percentile(array, 10)),
+        p90=float(np.percentile(array, 90)),
+        p99=float(np.percentile(array, 99)),
+        std=float(np.std(array)),
+    )
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    array = _as_array(values)
+    if array.size == 0:
+        return float("nan")
+    return float(np.percentile(array, q))
+
+
+def empirical_cdf(values: Iterable[float],
+                  points: int = 200) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of a sample, optionally down-sampled to ``points``.
+
+    Returns ``(x, p)`` arrays where ``p[i]`` is the fraction of samples
+    ``<= x[i]``; both arrays are monotonically non-decreasing and ``p`` ends
+    at 1.0 (as in the paper's Figures 5 and 8).
+    """
+    array = np.sort(_as_array(values))
+    if array.size == 0:
+        return np.array([]), np.array([])
+    probs = np.arange(1, array.size + 1) / array.size
+    if points and array.size > points:
+        idx = np.unique(np.linspace(0, array.size - 1, points).astype(int))
+        array, probs = array[idx], probs[idx]
+    return array, probs

@@ -1,0 +1,50 @@
+"""Aggregate consumer throughput (the paper's Figure 4 / Figure 7a metric).
+
+§5.2: "Throughput refers to the aggregate message rate (messages per
+second) from all consumers involved in each experiment."  We measure it as
+the total number of messages consumed divided by the span between the first
+publish and the last consume of the measurement phase; a Gb/s companion
+number is derived from the consumed payload bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netsim import units
+
+__all__ = ["ThroughputResult", "compute_throughput"]
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Aggregate throughput over one experiment run."""
+
+    messages: int
+    bytes: float
+    duration_s: float
+    msgs_per_s: float
+    gbits_per_s: float
+
+    def as_dict(self) -> dict:
+        return {
+            "messages": self.messages,
+            "bytes": self.bytes,
+            "duration_s": self.duration_s,
+            "msgs_per_s": self.msgs_per_s,
+            "gbits_per_s": self.gbits_per_s,
+        }
+
+
+def compute_throughput(*, messages: int, payload_bytes: float,
+                       first_publish_s: float,
+                       last_consume_s: float) -> ThroughputResult:
+    """Compute aggregate consumer throughput for one run."""
+    if messages < 0 or payload_bytes < 0:
+        raise ValueError("counts must be non-negative")
+    duration = max(0.0, last_consume_s - first_publish_s)
+    if messages == 0 or duration <= 0.0:
+        return ThroughputResult(messages, payload_bytes, duration, 0.0, 0.0)
+    msgs_per_s = messages / duration
+    gbits_per_s = units.bits(payload_bytes) / duration / 1e9
+    return ThroughputResult(messages, payload_bytes, duration, msgs_per_s, gbits_per_s)

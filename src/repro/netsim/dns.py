@@ -1,0 +1,111 @@
+"""DNS / FQDN resolution and the MSS route controller.
+
+MSS exposes the streaming service behind a stable Fully Qualified Domain
+Name that terminates at the facility's load balancer; an OpenShift route
+controller then maps the hostname onto the backing service endpoints
+(§2.3, §4.5).  DTS clients instead use raw ``node-IP:NodePort`` endpoints
+and PRS clients use the gateway proxy endpoints handed out by SciStream.
+
+The registry also charges a (small, configurable) resolution latency the
+first time a name is looked up, modelling the WAN DNS round trip; results
+are cached afterwards, as real resolvers do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..simkit import Environment
+
+__all__ = ["Endpoint", "DNSRegistry", "RouteController"]
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """A reachable network endpoint: a node name plus a TCP port."""
+
+    host: str
+    port: int
+    scheme: str = "amqp"
+
+    @property
+    def url(self) -> str:
+        return f"{self.scheme}://{self.host}:{self.port}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.url
+
+
+class DNSRegistry:
+    """Maps FQDNs to endpoints, with one-time resolution latency."""
+
+    def __init__(self, env: Environment, *, lookup_latency_s: float = 0.002) -> None:
+        self.env = env
+        self.lookup_latency_s = float(lookup_latency_s)
+        self._records: dict[str, Endpoint] = {}
+        self._cache: set[str] = set()
+        self.lookups = 0
+
+    def register(self, fqdn: str, endpoint: Endpoint) -> None:
+        self._records[fqdn] = endpoint
+
+    def resolve(self, fqdn: str) -> Generator:
+        """Simulation process resolving ``fqdn``; returns an Endpoint."""
+        self.lookups += 1
+        if fqdn not in self._cache:
+            yield self.env.timeout(self.lookup_latency_s)
+            self._cache.add(fqdn)
+        try:
+            return self._records[fqdn]
+        except KeyError:
+            raise KeyError(f"unknown FQDN {fqdn!r}") from None
+
+    def resolve_now(self, fqdn: str) -> Endpoint:
+        """Non-blocking lookup (no latency charged); for control-plane use."""
+        try:
+            return self._records[fqdn]
+        except KeyError:
+            raise KeyError(f"unknown FQDN {fqdn!r}") from None
+
+    def known_names(self) -> list[str]:
+        return sorted(self._records)
+
+
+class RouteController:
+    """OpenShift-style route controller: hostname → backend endpoints.
+
+    Distributes successive connections across the backends (round robin),
+    which is how the ingress spreads AMQPS connections over the three
+    RabbitMQ pods in the MSS deployment.
+    """
+
+    def __init__(self, name: str = "route-controller") -> None:
+        self.name = name
+        self._routes: dict[str, list[Endpoint]] = {}
+        self._cursor: dict[str, int] = {}
+
+    def add_route(self, hostname: str, backends: list[Endpoint]) -> None:
+        if not backends:
+            raise ValueError("a route needs at least one backend")
+        self._routes[hostname] = list(backends)
+        self._cursor[hostname] = 0
+
+    def backends(self, hostname: str) -> list[Endpoint]:
+        try:
+            return list(self._routes[hostname])
+        except KeyError:
+            raise KeyError(f"no route for {hostname!r}") from None
+
+    def select_backend(self, hostname: str) -> Endpoint:
+        """Round-robin selection of the next backend for a new connection."""
+        backends = self.backends(hostname)
+        index = self._cursor[hostname] % len(backends)
+        self._cursor[hostname] += 1
+        return backends[index]
+
+    def route_count(self) -> int:
+        return len(self._routes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<RouteController routes={len(self._routes)}>"

@@ -1,0 +1,146 @@
+"""Message representation shared by every layer of the simulator.
+
+A :class:`Message` models one application-level message as produced by a
+workload generator: a payload of so many bytes (optionally composed of
+multiple batched events, as in the Deleria workload), plus headers, routing
+information and a trace of every hop it crosses.  The trace is what lets the
+metrics layer attribute latency to individual architecture components.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Message", "HopRecord", "MessageFactory"]
+
+_message_ids = itertools.count()
+
+
+@dataclass
+class HopRecord:
+    """One traversal of a network element by a message."""
+
+    element: str
+    kind: str
+    arrived_at: float
+    departed_at: float
+
+    @property
+    def duration(self) -> float:
+        return self.departed_at - self.arrived_at
+
+
+@dataclass
+class Message:
+    """An application message flowing producer → service → consumer."""
+
+    #: Unique, monotonically increasing identifier.
+    message_id: int
+    #: Payload size in bytes (excluding protocol framing).
+    payload_bytes: float
+    #: Number of workload events batched into this message (Deleria batches 8).
+    event_count: int = 1
+    #: Payload encoding, informational only ("binary", "hdf5", "json").
+    payload_format: str = "binary"
+    #: Logical producer identifier.
+    producer: str = ""
+    #: AMQP routing key / queue name the producer addressed.
+    routing_key: str = ""
+    #: Identifies request/reply correlation for feedback patterns.
+    correlation_id: Optional[int] = None
+    #: Reply-to queue for request/reply (direct reply routing).
+    reply_to: Optional[str] = None
+    #: True for control-plane messages (JSON-encoded in Deleria).
+    is_control: bool = False
+    #: Simulated time the producer created the message.
+    created_at: float = 0.0
+    #: Simulated time the broker accepted (routed) the message.
+    published_at: Optional[float] = None
+    #: Simulated time a consumer finished receiving the message.
+    consumed_at: Optional[float] = None
+    #: Free-form metadata bag (sequence numbers, run ids, ...).
+    headers: dict[str, Any] = field(default_factory=dict)
+    #: Per-hop latency trace.
+    hops: list[HopRecord] = field(default_factory=list)
+
+    #: Protocol framing overhead added on the wire per message (AMQP frame
+    #: headers, TCP/IP overhead amortised per message).
+    framing_bytes: float = 512.0
+
+    @property
+    def wire_bytes(self) -> float:
+        """Bytes that actually cross a link for this message."""
+        return self.payload_bytes + self.framing_bytes
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Producer-to-consumer latency if the message was consumed."""
+        if self.consumed_at is None:
+            return None
+        return self.consumed_at - self.created_at
+
+    def record_hop(self, element: str, kind: str,
+                   arrived_at: float, departed_at: float) -> None:
+        self.hops.append(HopRecord(element, kind, arrived_at, departed_at))
+
+    def hop_count(self) -> int:
+        return len(self.hops)
+
+    def hop_breakdown(self) -> dict[str, float]:
+        """Total time spent per element kind (link, proxy, broker, ...)."""
+        breakdown: dict[str, float] = {}
+        for hop in self.hops:
+            breakdown[hop.kind] = breakdown.get(hop.kind, 0.0) + hop.duration
+        return breakdown
+
+    def make_reply(self, payload_bytes: float, now: float) -> "Message":
+        """Create the reply message for a request/reply interaction."""
+        reply = Message(
+            message_id=next(_message_ids),
+            payload_bytes=payload_bytes,
+            event_count=self.event_count,
+            payload_format=self.payload_format,
+            producer=self.headers.get("consumer", "consumer"),
+            routing_key=self.reply_to or "",
+            correlation_id=self.message_id,
+            created_at=now,
+        )
+        reply.headers["request_id"] = self.message_id
+        reply.headers["request_created_at"] = self.created_at
+        return reply
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Message id={self.message_id} {self.payload_bytes:.0f}B "
+                f"key={self.routing_key!r}>")
+
+
+class MessageFactory:
+    """Creates messages with process-wide unique identifiers."""
+
+    def __init__(self, producer: str = "", framing_bytes: float = 512.0) -> None:
+        self.producer = producer
+        self.framing_bytes = framing_bytes
+
+    def create(self, payload_bytes: float, *, now: float,
+               routing_key: str = "", event_count: int = 1,
+               payload_format: str = "binary",
+               reply_to: Optional[str] = None,
+               is_control: bool = False,
+               headers: Optional[dict[str, Any]] = None) -> Message:
+        message = Message(
+            message_id=next(_message_ids),
+            payload_bytes=float(payload_bytes),
+            event_count=int(event_count),
+            payload_format=payload_format,
+            producer=self.producer,
+            routing_key=routing_key,
+            reply_to=reply_to,
+            is_control=is_control,
+            created_at=now,
+            framing_bytes=self.framing_bytes,
+        )
+        if headers:
+            message.headers.update(headers)
+        return message

@@ -1,0 +1,184 @@
+"""Firewall, NAT and node-port exposure model.
+
+Performance-wise these elements are nearly free (a DNAT rewrite costs
+microseconds); what the paper cares about is *deployment feasibility*: DTS
+requires opening node-level ports and firewall pinholes for every deployment,
+PRS only needs a pre-authorised gateway endpoint, and MSS needs nothing but
+outbound HTTPS.  This module therefore models the control-plane objects —
+firewall rules, NAT mappings, NodePort allocations — so the architecture
+layer can (a) *validate* that a data path is actually reachable before
+streaming, and (b) *count* the administrative burden (rules touched, ports
+opened) reported in the deployment-feasibility comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = [
+    "FirewallRule",
+    "Firewall",
+    "NATMapping",
+    "NATGateway",
+    "NodePortAllocator",
+    "NODEPORT_RANGE",
+]
+
+#: Kubernetes/OpenShift default NodePort range (§4.3).
+NODEPORT_RANGE = (30000, 32767)
+
+
+@dataclass(frozen=True)
+class FirewallRule:
+    """A single allow rule: who may reach which host:port."""
+
+    source_cidr: str
+    dest_host: str
+    port: int
+    protocol: str = "tcp"
+    description: str = ""
+
+    def matches(self, source: str, dest_host: str, port: int,
+                protocol: str = "tcp") -> bool:
+        if self.protocol != protocol or self.dest_host != dest_host:
+            return False
+        if self.port != port:
+            return False
+        return _cidr_contains(self.source_cidr, source)
+
+
+def _cidr_contains(cidr: str, address: str) -> bool:
+    """Very small CIDR matcher supporting 'any', exact and prefix forms."""
+    if cidr in ("any", "0.0.0.0/0", "*"):
+        return True
+    if "/" not in cidr:
+        return cidr == address
+    prefix, bits_text = cidr.split("/", 1)
+    bits = int(bits_text)
+    try:
+        prefix_int = _ip_to_int(prefix)
+        addr_int = _ip_to_int(address)
+    except ValueError:
+        return False
+    if bits == 0:
+        return True
+    mask = (0xFFFFFFFF << (32 - bits)) & 0xFFFFFFFF
+    return (prefix_int & mask) == (addr_int & mask)
+
+
+def _ip_to_int(address: str) -> int:
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"not an IPv4 address: {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"bad octet in {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+class Firewall:
+    """Per-facility firewall holding explicit allow rules (default deny)."""
+
+    def __init__(self, name: str, *, default_outbound_allowed: bool = True) -> None:
+        self.name = name
+        self.rules: list[FirewallRule] = []
+        self.default_outbound_allowed = default_outbound_allowed
+
+    def allow(self, source_cidr: str, dest_host: str, port: int, *,
+              protocol: str = "tcp", description: str = "") -> FirewallRule:
+        rule = FirewallRule(source_cidr, dest_host, port, protocol, description)
+        self.rules.append(rule)
+        return rule
+
+    def permits(self, source: str, dest_host: str, port: int,
+                protocol: str = "tcp") -> bool:
+        return any(rule.matches(source, dest_host, port, protocol)
+                   for rule in self.rules)
+
+    @property
+    def rule_count(self) -> int:
+        return len(self.rules)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Firewall {self.name} rules={self.rule_count}>"
+
+
+@dataclass(frozen=True)
+class NATMapping:
+    """A DNAT mapping from an external endpoint to an internal one."""
+
+    external_host: str
+    external_port: int
+    internal_host: str
+    internal_port: int
+
+
+class NATGateway:
+    """Destination-NAT gateway at a facility boundary."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._mappings: dict[tuple[str, int], NATMapping] = {}
+
+    def add_mapping(self, external_host: str, external_port: int,
+                    internal_host: str, internal_port: int) -> NATMapping:
+        key = (external_host, external_port)
+        if key in self._mappings:
+            raise ValueError(f"mapping for {external_host}:{external_port} exists")
+        mapping = NATMapping(external_host, external_port,
+                             internal_host, internal_port)
+        self._mappings[key] = mapping
+        return mapping
+
+    def translate(self, external_host: str, external_port: int) -> Optional[NATMapping]:
+        return self._mappings.get((external_host, external_port))
+
+    @property
+    def mapping_count(self) -> int:
+        return len(self._mappings)
+
+
+class NodePortAllocator:
+    """Allocates NodePort numbers from the OpenShift range (30000-32767)."""
+
+    def __init__(self, port_range: tuple[int, int] = NODEPORT_RANGE) -> None:
+        low, high = port_range
+        if low > high:
+            raise ValueError("invalid port range")
+        self.port_range = port_range
+        self._allocated: dict[int, str] = {}
+
+    def allocate(self, service: str, preferred: Optional[int] = None) -> int:
+        low, high = self.port_range
+        if preferred is not None:
+            if not low <= preferred <= high:
+                raise ValueError(
+                    f"port {preferred} outside NodePort range {self.port_range}")
+            if preferred in self._allocated:
+                raise ValueError(f"port {preferred} already allocated "
+                                 f"to {self._allocated[preferred]!r}")
+            self._allocated[preferred] = service
+            return preferred
+        for port in range(low, high + 1):
+            if port not in self._allocated:
+                self._allocated[port] = service
+                return port
+        raise RuntimeError("NodePort range exhausted")
+
+    def release(self, port: int) -> None:
+        self._allocated.pop(port, None)
+
+    def owner(self, port: int) -> Optional[str]:
+        return self._allocated.get(port)
+
+    def allocated_ports(self, service: Optional[str] = None) -> list[int]:
+        if service is None:
+            return sorted(self._allocated)
+        return sorted(p for p, s in self._allocated.items() if s == service)
+
+    def __len__(self) -> int:
+        return len(self._allocated)

@@ -1,0 +1,189 @@
+"""Network topology: nodes, directed links and route discovery.
+
+The :class:`Network` is a registry of :class:`~repro.netsim.node.NetworkNode`
+objects joined by directed :class:`~repro.netsim.link.Link` objects.  Routes
+are discovered with a breadth-first search (shortest hop count, deterministic
+tie-breaking by insertion order), which is sufficient for the small, mostly
+tree-shaped topologies of the three deployments.  Architectures may also
+register *named paths* to force traffic through specific intermediaries
+(e.g. the MSS load balancer even when a shorter physical path exists).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+from ..simkit import Environment, Monitor
+from .link import Link
+from .node import NetworkNode, NodeSpec
+
+__all__ = ["Network", "Route"]
+
+
+class Route:
+    """An ordered sequence of network elements (nodes and links)."""
+
+    def __init__(self, elements: Iterable) -> None:
+        self.elements = list(elements)
+
+    @property
+    def nodes(self) -> list[NetworkNode]:
+        return [e for e in self.elements if isinstance(e, NetworkNode)]
+
+    @property
+    def links(self) -> list[Link]:
+        return [e for e in self.elements if isinstance(e, Link)]
+
+    @property
+    def hop_count(self) -> int:
+        """Number of link traversals (the paper's notion of 'hops')."""
+        return len(self.links)
+
+    def __iter__(self):
+        return iter(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __add__(self, other: "Route") -> "Route":
+        if not isinstance(other, Route):
+            return NotImplemented
+        elements = list(self.elements)
+        tail = list(other.elements)
+        # Avoid duplicating the junction node when concatenating.
+        if elements and tail and elements[-1] is tail[0]:
+            tail = tail[1:]
+        return Route(elements + tail)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        names = [getattr(e, "name", "?") for e in self.elements]
+        return "Route(" + " -> ".join(names) + ")"
+
+
+class Network:
+    """A registry of hosts and links with shortest-path routing."""
+
+    def __init__(self, env: Environment, name: str = "net") -> None:
+        self.env = env
+        self.name = name
+        self.monitor = Monitor(f"network:{name}")
+        self.nodes: dict[str, NetworkNode] = {}
+        #: Directed adjacency: src name -> {dst name: Link}.
+        self._adjacency: dict[str, dict[str, Link]] = {}
+        self._named_routes: dict[tuple[str, str], Route] = {}
+
+    # -- construction --------------------------------------------------------
+    def add_node(self, name: str, spec: Optional[NodeSpec] = None, *,
+                 role: str = "host") -> NetworkNode:
+        if name in self.nodes:
+            raise ValueError(f"node {name!r} already exists")
+        node = NetworkNode(self.env, name, spec, role=role)
+        self.nodes[name] = node
+        self._adjacency[name] = {}
+        return node
+
+    def get_node(self, name: str) -> NetworkNode:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise KeyError(f"unknown node {name!r}") from None
+
+    def add_link(self, src: str, dst: str, *, bandwidth_bps: float,
+                 latency_s: float = 0.0005, jitter_s: float = 0.0,
+                 rng=None) -> Link:
+        """Add a single *directed* link from ``src`` to ``dst``."""
+        if src not in self.nodes or dst not in self.nodes:
+            raise KeyError(f"both endpoints must exist: {src!r} -> {dst!r}")
+        if dst in self._adjacency[src]:
+            raise ValueError(f"link {src!r} -> {dst!r} already exists")
+        link = Link(self.env, f"{src}->{dst}", bandwidth_bps=bandwidth_bps,
+                    latency_s=latency_s, jitter_s=jitter_s, rng=rng)
+        self._adjacency[src][dst] = link
+        return link
+
+    def connect(self, a: str, b: str, *, bandwidth_bps: float,
+                latency_s: float = 0.0005, jitter_s: float = 0.0,
+                rng=None) -> tuple[Link, Link]:
+        """Add a full-duplex connection (two directed links) between hosts."""
+        forward = self.add_link(a, b, bandwidth_bps=bandwidth_bps,
+                                latency_s=latency_s, jitter_s=jitter_s, rng=rng)
+        backward = self.add_link(b, a, bandwidth_bps=bandwidth_bps,
+                                 latency_s=latency_s, jitter_s=jitter_s, rng=rng)
+        return forward, backward
+
+    def link_between(self, src: str, dst: str) -> Link:
+        try:
+            return self._adjacency[src][dst]
+        except KeyError:
+            raise KeyError(f"no link {src!r} -> {dst!r}") from None
+
+    def has_link(self, src: str, dst: str) -> bool:
+        return dst in self._adjacency.get(src, {})
+
+    def neighbors(self, src: str) -> list[str]:
+        return list(self._adjacency.get(src, {}))
+
+    # -- routing ---------------------------------------------------------------
+    def register_route(self, src: str, dst: str, waypoints: list[str]) -> Route:
+        """Force traffic src→dst through the given node waypoints."""
+        full = [src, *waypoints, dst]
+        elements: list = []
+        for a, b in zip(full, full[1:]):
+            elements.append(self.nodes[a])
+            elements.append(self.link_between(a, b))
+        elements.append(self.nodes[dst])
+        route = Route(elements)
+        self._named_routes[(src, dst)] = route
+        return route
+
+    def route(self, src: str, dst: str) -> Route:
+        """Return the registered or shortest route from ``src`` to ``dst``."""
+        named = self._named_routes.get((src, dst))
+        if named is not None:
+            return named
+        if src == dst:
+            return Route([self.get_node(src)])
+        parents: dict[str, str] = {}
+        queue: deque[str] = deque([src])
+        visited = {src}
+        while queue:
+            here = queue.popleft()
+            for nxt in self._adjacency[here]:
+                if nxt in visited:
+                    continue
+                visited.add(nxt)
+                parents[nxt] = here
+                if nxt == dst:
+                    queue.clear()
+                    break
+                queue.append(nxt)
+        if dst not in parents and src != dst:
+            raise KeyError(f"no route from {src!r} to {dst!r}")
+        # Reconstruct the node sequence.
+        seq = [dst]
+        while seq[-1] != src:
+            seq.append(parents[seq[-1]])
+        seq.reverse()
+        elements: list = []
+        for a, b in zip(seq, seq[1:]):
+            elements.append(self.nodes[a])
+            elements.append(self.link_between(a, b))
+        elements.append(self.nodes[dst])
+        return Route(elements)
+
+    def hop_count(self, src: str, dst: str) -> int:
+        return self.route(src, dst).hop_count
+
+    # -- reporting ---------------------------------------------------------------
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "nodes": sorted(self.nodes),
+            "links": sorted(f"{s}->{d}" for s, targets in self._adjacency.items()
+                            for d in targets),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        nlinks = sum(len(t) for t in self._adjacency.values())
+        return f"<Network {self.name} nodes={len(self.nodes)} links={nlinks}>"

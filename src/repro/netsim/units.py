@@ -1,0 +1,108 @@
+"""Unit helpers for data sizes, bandwidths and times.
+
+The paper mixes binary data sizes (KiB, MiB, GiB), decimal network rates
+(Gbps = 1e9 bits per second) and seconds/milliseconds.  Centralising the
+conversions here avoids the classic factor-of-8 and 1000-vs-1024 mistakes.
+All simulator-internal quantities are plain floats: bytes, bits-per-second
+and seconds.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "kib",
+    "mib",
+    "gib",
+    "kbps",
+    "mbps",
+    "gbps",
+    "transmission_time",
+    "bits",
+    "megabits",
+    "pretty_size",
+    "pretty_rate",
+    "MICROSECOND",
+    "MILLISECOND",
+]
+
+#: One kibibyte in bytes.
+KIB = 1024
+#: One mebibyte in bytes.
+MIB = 1024 ** 2
+#: One gibibyte in bytes.
+GIB = 1024 ** 3
+
+#: One microsecond in seconds.
+MICROSECOND = 1e-6
+#: One millisecond in seconds.
+MILLISECOND = 1e-3
+
+
+def kib(value: float) -> float:
+    """Kibibytes → bytes."""
+    return float(value) * KIB
+
+
+def mib(value: float) -> float:
+    """Mebibytes → bytes."""
+    return float(value) * MIB
+
+
+def gib(value: float) -> float:
+    """Gibibytes → bytes."""
+    return float(value) * GIB
+
+
+def kbps(value: float) -> float:
+    """Kilobits per second → bits per second."""
+    return float(value) * 1e3
+
+
+def mbps(value: float) -> float:
+    """Megabits per second → bits per second."""
+    return float(value) * 1e6
+
+
+def gbps(value: float) -> float:
+    """Gigabits per second → bits per second."""
+    return float(value) * 1e9
+
+
+def bits(nbytes: float) -> float:
+    """Bytes → bits."""
+    return float(nbytes) * 8.0
+
+
+def megabits(nbytes: float) -> float:
+    """Bytes → megabits (useful for Gb/s style reporting)."""
+    return bits(nbytes) / 1e6
+
+
+def transmission_time(nbytes: float, bandwidth_bps: float) -> float:
+    """Serialization delay of ``nbytes`` over a ``bandwidth_bps`` link."""
+    if bandwidth_bps <= 0:
+        raise ValueError("bandwidth must be positive")
+    if nbytes < 0:
+        raise ValueError("size must be non-negative")
+    return bits(nbytes) / float(bandwidth_bps)
+
+
+def pretty_size(nbytes: float) -> str:
+    """Human-readable binary size (e.g. ``16.0 KiB``)."""
+    value = float(nbytes)
+    for unit, factor in (("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(value) >= factor:
+            return f"{value / factor:.1f} {unit}"
+    return f"{value:.0f} B"
+
+
+def pretty_rate(bps: float) -> str:
+    """Human-readable decimal rate (e.g. ``1.0 Gbps``)."""
+    value = float(bps)
+    for unit, factor in (("Gbps", 1e9), ("Mbps", 1e6), ("Kbps", 1e3)):
+        if abs(value) >= factor:
+            return f"{value / factor:.1f} {unit}"
+    return f"{value:.0f} bps"

@@ -1,0 +1,39 @@
+"""Messaging patterns: work sharing, work sharing with feedback, broadcast
+and gather (§5.1)."""
+
+from .apps import ConsumerApp, ProducerApp
+from .base import ExperimentContext, MessagingPattern
+from .broadcast_gather import BroadcastGatherPattern, BroadcastPattern
+from .feedback import WorkSharingFeedbackPattern
+from .work_sharing import WorkSharingPattern
+
+__all__ = [
+    "ProducerApp",
+    "ConsumerApp",
+    "ExperimentContext",
+    "MessagingPattern",
+    "WorkSharingPattern",
+    "WorkSharingFeedbackPattern",
+    "BroadcastPattern",
+    "BroadcastGatherPattern",
+    "PATTERNS",
+    "make_pattern",
+]
+
+#: Registry of messaging patterns by config name.
+PATTERNS = {
+    "work_sharing": WorkSharingPattern,
+    "work_sharing_feedback": WorkSharingFeedbackPattern,
+    "broadcast": BroadcastPattern,
+    "broadcast_gather": BroadcastGatherPattern,
+}
+
+
+def make_pattern(name: str, **kwargs) -> MessagingPattern:
+    """Instantiate a messaging pattern by its config name."""
+    try:
+        cls = PATTERNS[name]
+    except KeyError:
+        raise ValueError(f"unknown pattern {name!r}; "
+                         f"expected one of {sorted(PATTERNS)}") from None
+    return cls(**kwargs)

@@ -1,0 +1,165 @@
+"""Producer and consumer application processes.
+
+These are the simulated equivalents of the Go producers/consumers in the
+paper's StreamSim client: each producer generates workload messages
+according to its :class:`~repro.workloads.generator.WorkloadGenerator` and
+publishes them through its architecture-specific connection; each consumer
+receives deliveries, optionally produces a reply (feedback / gather), and
+acknowledges in batches.  The messaging patterns compose these two apps with
+different queue topologies.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..architectures.base import ClientEndpoints
+from ..netsim.message import MessageFactory
+from ..simkit import Environment
+from ..workloads import WorkloadGenerator
+
+__all__ = ["ProducerApp", "ConsumerApp"]
+
+
+class ProducerApp:
+    """One producer rank: generates and publishes workload messages."""
+
+    def __init__(self, env: Environment, name: str, endpoints: ClientEndpoints,
+                 generator: WorkloadGenerator, coordinator, *,
+                 exchange: str = "",
+                 routing_keys: list[str],
+                 reply_to: Optional[str] = None,
+                 launch_delay_s: float = 0.0,
+                 max_outstanding: int = 0,
+                 replies_per_message: int = 1) -> None:
+        if not routing_keys:
+            raise ValueError("a producer needs at least one routing key")
+        self.env = env
+        self.name = name
+        self.endpoints = endpoints
+        self.generator = generator
+        self.coordinator = coordinator
+        self.exchange = exchange
+        self.routing_keys = list(routing_keys)
+        self.reply_to = reply_to
+        self.launch_delay_s = launch_delay_s
+        #: Request/reply window: stop publishing while this many replies are
+        #: still outstanding (0 = unlimited; only meaningful when replies are
+        #: collected, i.e. the feedback and gather patterns).
+        self.max_outstanding = int(max_outstanding)
+        #: Replies each published message generates (1 for work sharing with
+        #: feedback, the consumer count for broadcast and gather).
+        self.replies_per_message = max(1, int(replies_per_message))
+        self.factory = MessageFactory(name)
+        self.sent = 0
+        self.failed = 0
+        self.replies_received = 0
+        self._window_event = env.event()
+
+    @property
+    def outstanding(self) -> int:
+        """Replies still expected for the requests published so far."""
+        return max(0, self.sent * self.replies_per_message - self.replies_received)
+
+    def publish_messages(self, count: int) -> Generator:
+        """Simulation process: publish ``count`` messages, then flush confirms."""
+        if self.launch_delay_s:
+            yield self.env.timeout(self.launch_delay_s)
+        yield from self.endpoints.publisher.connection.establish()
+        for index in range(count):
+            while self.max_outstanding and self.outstanding >= self.max_outstanding:
+                yield self._window_event
+                self._window_event = self.env.event()
+            blueprint = self.generator.next_blueprint()
+            routing_key = self.routing_keys[index % len(self.routing_keys)]
+            message = self.factory.create(
+                blueprint.payload_bytes,
+                now=self.env.now,
+                routing_key=routing_key,
+                event_count=blueprint.event_count,
+                payload_format=blueprint.payload_format,
+                reply_to=self.reply_to,
+                headers={**blueprint.headers, "producer": self.name},
+            )
+            self.coordinator.record_publish(message)
+            ok = yield from self.endpoints.publisher.publish(
+                message, exchange=self.exchange, routing_key=routing_key)
+            if ok:
+                self.sent += 1
+            else:
+                self.failed += 1
+                self.coordinator.record_failed_publish(message)
+            interval = self.generator.send_interval()
+            if interval > 0:
+                yield self.env.timeout(interval)
+        yield from self.endpoints.publisher.flush_confirms()
+        self.coordinator.record_producer_finished(self.name)
+
+    def collect_replies(self, expected: int) -> Generator:
+        """Simulation process: consume ``expected`` replies from the reply queue."""
+        yield from self.endpoints.subscriber.connection.establish()
+        received = 0
+        while received < expected:
+            reply = yield self.endpoints.subscriber.get()
+            received += 1
+            self.replies_received += 1
+            if not self._window_event.triggered:
+                self._window_event.succeed()
+            self.coordinator.record_reply(reply, self.name)
+            yield from self.endpoints.subscriber.ack(reply)
+        yield from self.endpoints.subscriber.flush_acks()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ProducerApp {self.name} sent={self.sent}>"
+
+
+class ConsumerApp:
+    """One consumer rank: receives deliveries and optionally replies."""
+
+    def __init__(self, env: Environment, name: str, endpoints: ClientEndpoints,
+                 coordinator, *,
+                 reply: bool = False,
+                 reply_exchange: str = "",
+                 reply_payload_bytes: float = 0.0,
+                 reply_routing_key: Optional[str] = None,
+                 processing_time_s: float = 0.0,
+                 launch_delay_s: float = 0.0) -> None:
+        self.env = env
+        self.name = name
+        self.endpoints = endpoints
+        self.coordinator = coordinator
+        self.reply = reply
+        self.reply_exchange = reply_exchange
+        self.reply_payload_bytes = reply_payload_bytes
+        self.reply_routing_key = reply_routing_key
+        self.processing_time_s = processing_time_s
+        self.launch_delay_s = launch_delay_s
+        self.received = 0
+        self.replied = 0
+
+    def consume_forever(self) -> Generator:
+        """Simulation process: receive, (optionally) reply and acknowledge."""
+        if self.launch_delay_s:
+            yield self.env.timeout(self.launch_delay_s)
+        yield from self.endpoints.subscriber.connection.establish()
+        if self.reply:
+            yield from self.endpoints.publisher.connection.establish()
+        while True:
+            message = yield self.endpoints.subscriber.get()
+            self.received += 1
+            if self.processing_time_s > 0:
+                yield self.env.timeout(self.processing_time_s)
+            self.coordinator.record_consume(message, self.name)
+            if self.reply:
+                routing_key = self.reply_routing_key or message.reply_to
+                if routing_key:
+                    reply = message.make_reply(self.reply_payload_bytes, self.env.now)
+                    reply.headers["consumer"] = self.name
+                    ok = yield from self.endpoints.publisher.publish(
+                        reply, exchange=self.reply_exchange, routing_key=routing_key)
+                    if ok:
+                        self.replied += 1
+            yield from self.endpoints.subscriber.ack(message)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ConsumerApp {self.name} received={self.received}>"

@@ -1,0 +1,116 @@
+"""Messaging-pattern abstractions and the per-run experiment context.
+
+§5.1 evaluates three messaging patterns — work sharing, work sharing with
+feedback, and broadcast and gather — which map onto RabbitMQ queue models
+(§5.2): the work-queue model for shared request queues, direct routing for
+per-producer reply queues, and publish–subscribe (fanout) for broadcast and
+gather.  A :class:`MessagingPattern` owns that queue topology and wires the
+producer/consumer applications accordingly.
+
+The :class:`ExperimentContext` carries everything a pattern needs for one
+run: the environment, the deployed architecture, the attached client
+endpoints, the workload generators and the coordinator.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..amqp import ExchangeType, QueuePolicy
+from ..architectures import StreamingArchitecture, Testbed
+from ..architectures.base import ClientEndpoints
+from ..simkit import Environment
+from ..workloads import WorkloadGenerator, WorkloadSpec
+from .apps import ConsumerApp, ProducerApp
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..harness.config import ExperimentConfig
+    from ..harness.coordinator import Coordinator
+
+__all__ = ["ExperimentContext", "MessagingPattern"]
+
+
+@dataclass
+class ExperimentContext:
+    """Everything one run of one experiment point needs."""
+
+    env: Environment
+    testbed: Testbed
+    architecture: StreamingArchitecture
+    config: "ExperimentConfig"
+    workload: WorkloadSpec
+    coordinator: "Coordinator"
+    producer_endpoints: list[ClientEndpoints] = field(default_factory=list)
+    consumer_endpoints: list[ClientEndpoints] = field(default_factory=list)
+    producer_generators: list[WorkloadGenerator] = field(default_factory=list)
+    producer_launch_delays: list[float] = field(default_factory=list)
+    consumer_launch_delays: list[float] = field(default_factory=list)
+    producer_apps: list[ProducerApp] = field(default_factory=list)
+    consumer_apps: list[ConsumerApp] = field(default_factory=list)
+
+    # -- helpers used by patterns -----------------------------------------------------
+    @property
+    def cluster(self):
+        return self.testbed.broker_cluster
+
+    def declare_work_queue(self, name: str, *, is_control: bool = False):
+        return self.testbed.declare_work_queue(name, is_control=is_control)
+
+    def declare_fanout_exchange(self, name: str) -> None:
+        self.cluster.declare_exchange(name, ExchangeType.FANOUT)
+
+    def producer_name(self, rank: int) -> str:
+        return f"prod-{rank}"
+
+    def consumer_name(self, rank: int) -> str:
+        return f"cons-{rank}"
+
+    def producer_launch_delay(self, rank: int) -> float:
+        if rank < len(self.producer_launch_delays):
+            return self.producer_launch_delays[rank]
+        return 0.0
+
+    def consumer_launch_delay(self, rank: int) -> float:
+        if rank < len(self.consumer_launch_delays):
+            return self.consumer_launch_delays[rank]
+        return 0.0
+
+
+class MessagingPattern(abc.ABC):
+    """A §5.1 messaging pattern: queue topology plus application wiring."""
+
+    #: Identifier used in configs and results ("work_sharing", ...).
+    name: str = "base"
+
+    # -- completion targets -----------------------------------------------------------
+    @abc.abstractmethod
+    def expected_consumed(self, config: "ExperimentConfig") -> int:
+        """Total consumer-side deliveries a complete run produces."""
+
+    def expected_replies(self, config: "ExperimentConfig") -> int:
+        """Total producer-side replies a complete run produces (0 = none)."""
+        return 0
+
+    # -- wiring -----------------------------------------------------------
+    @abc.abstractmethod
+    def build(self, ctx: ExperimentContext) -> None:
+        """Declare queues/exchanges, create the apps and start their processes."""
+
+    # -- shared helpers -----------------------------------------------------------
+    def _start_consumer(self, ctx: ExperimentContext, app: ConsumerApp) -> None:
+        ctx.consumer_apps.append(app)
+        ctx.env.process(app.consume_forever(), name=f"consumer:{app.name}")
+
+    def _start_producer(self, ctx: ExperimentContext, app: ProducerApp, *,
+                        messages: int,
+                        replies_expected: int = 0) -> None:
+        ctx.producer_apps.append(app)
+        ctx.env.process(app.publish_messages(messages), name=f"producer:{app.name}")
+        if replies_expected:
+            ctx.env.process(app.collect_replies(replies_expected),
+                            name=f"replies:{app.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__}>"

@@ -1,0 +1,109 @@
+"""The broadcast and gather pattern (§5.1, §5.5 / Figures 7–8).
+
+The fan-out / fan-in collective of DDP training (NCCL/Gloo) and large-scale
+metric aggregation: a single producer broadcasts the same message to all
+consumers and — in the gather variant — every consumer sends a reply that
+the same producer collects.  Following §5.2, both directions use the
+publish–subscribe model: requests go through a fanout exchange copied into
+one queue per consumer, and replies go to a gather queue from which the
+single producer consumes all responses.
+"""
+
+from __future__ import annotations
+
+from .apps import ConsumerApp, ProducerApp
+from .base import ExperimentContext, MessagingPattern
+
+__all__ = ["BroadcastPattern", "BroadcastGatherPattern"]
+
+
+class BroadcastPattern(MessagingPattern):
+    """Single producer fans the same message out to every consumer."""
+
+    name = "broadcast"
+    gather = False
+
+    def __init__(self, *, exchange_name: str = "bcast",
+                 gather_queue: str = "gather") -> None:
+        self.exchange_name = exchange_name
+        self.gather_queue = gather_queue
+
+    # -- completion targets -----------------------------------------------------------
+    def expected_consumed(self, config) -> int:
+        # Every broadcast message is delivered to every consumer.
+        return config.messages_per_producer * config.num_consumers
+
+    def expected_replies(self, config) -> int:
+        if not self.gather:
+            return 0
+        return config.messages_per_producer * config.num_consumers
+
+    # -- wiring -----------------------------------------------------------
+    def consumer_queue_name(self, consumer_name: str) -> str:
+        return f"{self.exchange_name}.{consumer_name}"
+
+    def build(self, ctx: ExperimentContext) -> None:
+        config = ctx.config
+        ctx.declare_fanout_exchange(self.exchange_name)
+
+        consumer_queues = []
+        for rank, _ in enumerate(ctx.consumer_endpoints):
+            queue_name = self.consumer_queue_name(ctx.consumer_name(rank))
+            ctx.declare_work_queue(queue_name)
+            ctx.cluster.bind_queue(self.exchange_name, queue_name)
+            consumer_queues.append(queue_name)
+
+        reply_queues: dict[str, str] = {}
+        if self.gather:
+            ctx.declare_work_queue(self.gather_queue)
+            reply_queues = {ctx.producer_name(0): self.gather_queue}
+        ctx.coordinator.announce_queues(consumer_queues, reply_queues)
+
+        # Consumers first (each on its own broadcast queue).
+        for rank, endpoints in enumerate(ctx.consumer_endpoints):
+            queue_name = self.consumer_queue_name(ctx.consumer_name(rank))
+            endpoints.subscriber.subscribe(queue_name)
+            app = ConsumerApp(ctx.env, ctx.consumer_name(rank), endpoints,
+                              ctx.coordinator,
+                              reply=self.gather,
+                              reply_payload_bytes=ctx.workload.effective_reply_bytes,
+                              reply_routing_key=self.gather_queue if self.gather else None,
+                              processing_time_s=config.consumer_processing_time_s,
+                              launch_delay_s=ctx.consumer_launch_delay(rank))
+            self._start_consumer(ctx, app)
+
+        # The single producer broadcasts through the fanout exchange and, in
+        # the gather variant, also collects every consumer's reply.
+        endpoints = ctx.producer_endpoints[0]
+        replies_expected = 0
+        if self.gather:
+            endpoints.subscriber.subscribe(self.gather_queue)
+            replies_expected = self.expected_replies(config)
+        # In the gather variant the producer bounds the number of broadcast
+        # *rounds* still awaiting replies (each round expects one reply per
+        # consumer), mirroring a collective that waits for stragglers.
+        max_outstanding = 0
+        replies_per_message = 1
+        if self.gather:
+            replies_per_message = config.num_consumers
+            if config.max_outstanding_requests:
+                max_outstanding = (config.max_outstanding_requests
+                                   * config.num_consumers)
+        app = ProducerApp(ctx.env, ctx.producer_name(0), endpoints,
+                          ctx.producer_generators[0], ctx.coordinator,
+                          exchange=self.exchange_name,
+                          routing_keys=[""],
+                          reply_to=self.gather_queue if self.gather else None,
+                          launch_delay_s=ctx.producer_launch_delay(0),
+                          max_outstanding=max_outstanding,
+                          replies_per_message=replies_per_message)
+        self._start_producer(ctx, app,
+                             messages=config.messages_per_producer,
+                             replies_expected=replies_expected)
+
+
+class BroadcastGatherPattern(BroadcastPattern):
+    """Broadcast plus gather: the producer also collects all replies."""
+
+    name = "broadcast_gather"
+    gather = True

@@ -1,0 +1,86 @@
+"""The work sharing with feedback pattern (§5.1, §5.4 / Figures 5–6).
+
+The distribute-with-reply loop of parameter-server deep learning and
+master–worker task farms: requests are distributed through the shared work
+queues exactly as in plain work sharing, but every consumer sends a reply
+for each request, and the reply must reach the *originating* producer.
+Following §5.2, replies use the direct-routing model with one dedicated
+reply queue per producer, "ensuring that replies are routed back to the
+correct producer" and eliminating misrouting.
+
+The per-message metric is the round-trip time: producer publish → consumer
+receipt → reply receipt at the producer.
+"""
+
+from __future__ import annotations
+
+from .apps import ConsumerApp, ProducerApp
+from .base import ExperimentContext, MessagingPattern
+
+__all__ = ["WorkSharingFeedbackPattern"]
+
+
+class WorkSharingFeedbackPattern(MessagingPattern):
+    """Work queues for requests, per-producer direct reply queues."""
+
+    name = "work_sharing_feedback"
+
+    def __init__(self, *, queue_prefix: str = "work",
+                 reply_prefix: str = "reply") -> None:
+        self.queue_prefix = queue_prefix
+        self.reply_prefix = reply_prefix
+
+    # -- completion targets -----------------------------------------------------------
+    def expected_consumed(self, config) -> int:
+        return config.num_producers * config.messages_per_producer
+
+    def expected_replies(self, config) -> int:
+        # One reply per request, delivered to the originating producer.
+        return config.num_producers * config.messages_per_producer
+
+    # -- wiring -----------------------------------------------------------
+    def work_queue_names(self, config) -> list[str]:
+        return [f"{self.queue_prefix}-{i}" for i in range(config.work_queue_count)]
+
+    def reply_queue_name(self, producer_name: str) -> str:
+        return f"{self.reply_prefix}.{producer_name}"
+
+    def build(self, ctx: ExperimentContext) -> None:
+        config = ctx.config
+        queues = self.work_queue_names(config)
+        for queue_name in queues:
+            ctx.declare_work_queue(queue_name)
+
+        reply_queues: dict[str, str] = {}
+        for rank, _ in enumerate(ctx.producer_endpoints):
+            producer_name = ctx.producer_name(rank)
+            reply_queue = self.reply_queue_name(producer_name)
+            ctx.declare_work_queue(reply_queue)
+            reply_queues[producer_name] = reply_queue
+        ctx.coordinator.announce_queues(queues, reply_queues)
+
+        # Consumers first; they reply to whatever reply-to the request names.
+        for rank, endpoints in enumerate(ctx.consumer_endpoints):
+            for queue_name in queues:
+                endpoints.subscriber.subscribe(queue_name)
+            app = ConsumerApp(ctx.env, ctx.consumer_name(rank), endpoints,
+                              ctx.coordinator,
+                              reply=True,
+                              reply_payload_bytes=ctx.workload.effective_reply_bytes,
+                              processing_time_s=config.consumer_processing_time_s,
+                              launch_delay_s=ctx.consumer_launch_delay(rank))
+            self._start_consumer(ctx, app)
+
+        for rank, endpoints in enumerate(ctx.producer_endpoints):
+            producer_name = ctx.producer_name(rank)
+            reply_queue = reply_queues[producer_name]
+            endpoints.subscriber.subscribe(reply_queue)
+            app = ProducerApp(ctx.env, producer_name, endpoints,
+                              ctx.producer_generators[rank], ctx.coordinator,
+                              routing_keys=queues,
+                              reply_to=reply_queue,
+                              launch_delay_s=ctx.producer_launch_delay(rank),
+                              max_outstanding=config.max_outstanding_requests)
+            self._start_producer(ctx, app,
+                                 messages=config.messages_per_producer,
+                                 replies_expected=config.messages_per_producer)

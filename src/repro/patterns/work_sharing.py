@@ -1,0 +1,58 @@
+"""The work sharing pattern (§5.1, §5.3 / Figure 4).
+
+Embarrassingly parallel fan-out: producers publish independent work items to
+shared work queues and consumers take them round-robin, with no post-dispatch
+communication (hyperparameter searches, Monte-Carlo ensembles, Slurm job
+arrays).  Following §5.2 the default uses **two** shared work queues to
+increase throughput; every consumer subscribes to every work queue and each
+producer alternates its publishes across them.
+"""
+
+from __future__ import annotations
+
+from .apps import ConsumerApp, ProducerApp
+from .base import ExperimentContext, MessagingPattern
+
+__all__ = ["WorkSharingPattern"]
+
+
+class WorkSharingPattern(MessagingPattern):
+    """Producers → shared work queues → consumers (no replies)."""
+
+    name = "work_sharing"
+
+    def __init__(self, *, queue_prefix: str = "work") -> None:
+        self.queue_prefix = queue_prefix
+
+    # -- completion targets -----------------------------------------------------------
+    def expected_consumed(self, config) -> int:
+        # Every published message is consumed by exactly one consumer.
+        return config.num_producers * config.messages_per_producer
+
+    # -- wiring -----------------------------------------------------------
+    def work_queue_names(self, config) -> list[str]:
+        return [f"{self.queue_prefix}-{i}" for i in range(config.work_queue_count)]
+
+    def build(self, ctx: ExperimentContext) -> None:
+        config = ctx.config
+        queues = self.work_queue_names(config)
+        for queue_name in queues:
+            ctx.declare_work_queue(queue_name)
+        ctx.coordinator.announce_queues(queues)
+
+        # Consumers first (§5.2: consumers were started before producers).
+        for rank, endpoints in enumerate(ctx.consumer_endpoints):
+            for queue_name in queues:
+                endpoints.subscriber.subscribe(queue_name)
+            app = ConsumerApp(ctx.env, ctx.consumer_name(rank), endpoints,
+                              ctx.coordinator,
+                              processing_time_s=config.consumer_processing_time_s,
+                              launch_delay_s=ctx.consumer_launch_delay(rank))
+            self._start_consumer(ctx, app)
+
+        for rank, endpoints in enumerate(ctx.producer_endpoints):
+            app = ProducerApp(ctx.env, ctx.producer_name(rank), endpoints,
+                              ctx.producer_generators[rank], ctx.coordinator,
+                              routing_keys=queues,
+                              launch_delay_s=ctx.producer_launch_delay(rank))
+            self._start_producer(ctx, app, messages=config.messages_per_producer)

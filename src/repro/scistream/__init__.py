@@ -1,0 +1,41 @@
+"""SciStream-like memory-to-memory streaming toolkit substrate.
+
+Models the control plane (S2UC user client, S2CS control servers, the
+inbound/outbound request protocol and the resulting connection map) and the
+data plane (S2DS on-demand proxies backed by Stunnel, HAProxy or Nginx
+tunnels) used by the PRS architecture.
+"""
+
+from .control import ConnectionMap, StreamRequest, StreamReservation, new_uid
+from .proxies import (
+    PROXY_TYPES,
+    HAProxyProxy,
+    NginxProxy,
+    ProxyError,
+    StunnelProxy,
+    TunnelProxy,
+    make_proxy,
+)
+from .s2cs import CONTROL_PORT, STREAM_PORT_RANGE, S2CS
+from .s2ds import S2DS
+from .s2uc import S2UC, StreamingSession
+
+__all__ = [
+    "ConnectionMap",
+    "StreamRequest",
+    "StreamReservation",
+    "new_uid",
+    "TunnelProxy",
+    "StunnelProxy",
+    "HAProxyProxy",
+    "NginxProxy",
+    "ProxyError",
+    "make_proxy",
+    "PROXY_TYPES",
+    "S2CS",
+    "S2DS",
+    "S2UC",
+    "StreamingSession",
+    "CONTROL_PORT",
+    "STREAM_PORT_RANGE",
+]

@@ -1,0 +1,61 @@
+"""SciStream Data Server (S2DS): the on-demand proxy instance.
+
+An S2DS bridges the facility-internal network and the WAN: it authenticates
+external peers with proxy certificates (mutual TLS on the tunnel) and
+internal peers by source address, and forwards application bytes between
+them (§3.2).  In the data path it behaves exactly like its backing
+:class:`~repro.scistream.proxies.TunnelProxy`; this wrapper adds the session
+identity (UID, side, listener ports) that the control plane tracks.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..simkit import Environment
+from ..netsim.message import Message
+from .proxies import TunnelProxy
+
+__all__ = ["S2DS"]
+
+
+class S2DS:
+    """One on-demand proxy serving one streaming session side."""
+
+    def __init__(self, env: Environment, *, proxy: TunnelProxy, uid: str,
+                 side: str, listener_ports: list[int]) -> None:
+        if side not in ("producer", "consumer"):
+            raise ValueError("side must be 'producer' or 'consumer'")
+        self.env = env
+        self.proxy = proxy
+        self.uid = uid
+        self.side = side
+        self.listener_ports = list(listener_ports)
+
+    @property
+    def name(self) -> str:
+        return self.proxy.name
+
+    @property
+    def gateway_name(self) -> str:
+        return self.proxy.host.name
+
+    @property
+    def primary_port(self) -> int:
+        return self.listener_ports[0]
+
+    def register_connections(self, count: int) -> None:
+        self.proxy.register_connections(count)
+
+    def traverse(self, message: Message) -> Generator:
+        """Forward one message through the backing proxy."""
+        yield from self.proxy.traverse(message)
+
+    @property
+    def messages_forwarded(self) -> float:
+        counter = self.proxy.monitor.counters.get("messages")
+        return counter.value if counter else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<S2DS uid={self.uid[:8]} side={self.side} "
+                f"proxy={self.proxy.proxy_type} ports={self.listener_ports}>")

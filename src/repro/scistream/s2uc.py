@@ -1,0 +1,116 @@
+"""SciStream User Client (S2UC).
+
+The S2UC brokers a streaming session (§3.2, §4.4): it gathers short-lived
+credentials, sends the *inbound request* to the consumer-side S2CS (which
+returns a consumer proxy and a session UID), then sends the *outbound
+request* — carrying that UID and the consumer proxy endpoint — to the
+producer-side S2CS, which launches the producer proxy.  The result is a
+:class:`~repro.scistream.control.ConnectionMap` describing the overlay
+tunnel, after which the applications are signalled to begin transmission.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..simkit import Environment, Monitor
+from .control import ConnectionMap, StreamRequest, StreamReservation
+from .s2cs import S2CS
+
+__all__ = ["S2UC", "StreamingSession"]
+
+
+class StreamingSession:
+    """An established SciStream session: both proxies plus the map."""
+
+    def __init__(self, connection_map: ConnectionMap,
+                 producer_s2cs: S2CS, consumer_s2cs: S2CS) -> None:
+        self.connection_map = connection_map
+        self.producer_s2cs = producer_s2cs
+        self.consumer_s2cs = consumer_s2cs
+
+    @property
+    def uid(self) -> str:
+        return self.connection_map.uid
+
+    @property
+    def producer_proxy(self):
+        return self.producer_s2cs.data_server(self.uid)
+
+    @property
+    def consumer_proxy(self):
+        return self.consumer_s2cs.data_server(self.uid)
+
+    def describe(self) -> dict:
+        return self.connection_map.describe()
+
+
+class S2UC:
+    """User client orchestrating inbound/outbound requests."""
+
+    #: Credential gathering before the first request.
+    credential_latency_s = 0.1
+    #: WAN round trip per control request.
+    control_rtt_s = 0.05
+
+    def __init__(self, env: Environment, name: str = "s2uc", *,
+                 monitor: Optional[Monitor] = None) -> None:
+        self.env = env
+        self.name = name
+        self.monitor = monitor or Monitor(f"s2uc:{name}")
+        self.sessions: dict[str, StreamingSession] = {}
+
+    def establish_session(self, *, producer_s2cs: S2CS, consumer_s2cs: S2CS,
+                          remote_ip: str, target_ports: tuple[int, ...],
+                          num_connections: int = 1,
+                          proxy_type: str = "haproxy"):
+        """Simulation process: run the two-step request flow, return a session."""
+        yield self.env.timeout(self.credential_latency_s)
+
+        # Step 1: inbound request to the consumer-side control server.
+        inbound = StreamRequest(
+            direction="inbound",
+            server_cert=consumer_s2cs.server_cert,
+            remote_ip=remote_ip,
+            s2cs_address=f"{consumer_s2cs.gateway.name}:{30600}",
+            receiver_ports=target_ports,
+            num_connections=num_connections,
+        )
+        yield self.env.timeout(self.control_rtt_s)
+        consumer_reservation: StreamReservation = yield from consumer_s2cs.handle_request(
+            inbound, proxy_type=proxy_type)
+
+        # Step 2: outbound request to the producer-side control server,
+        # pointing at the consumer proxy and carrying the UID.
+        outbound = StreamRequest(
+            direction="outbound",
+            server_cert=producer_s2cs.server_cert,
+            remote_ip=remote_ip,
+            s2cs_address=f"{producer_s2cs.gateway.name}:{30500}",
+            receiver_ports=tuple(consumer_reservation.listener_ports),
+            num_connections=num_connections,
+            uid=consumer_reservation.uid,
+        )
+        yield self.env.timeout(self.control_rtt_s)
+        producer_reservation: StreamReservation = yield from producer_s2cs.handle_request(
+            outbound, proxy_type=proxy_type)
+
+        connection_map = ConnectionMap(
+            uid=consumer_reservation.uid,
+            producer_reservation=producer_reservation,
+            consumer_reservation=consumer_reservation,
+            target_ports=target_ports,
+        )
+        session = StreamingSession(connection_map, producer_s2cs, consumer_s2cs)
+        self.sessions[session.uid] = session
+        self.monitor.count("sessions")
+        return session
+
+    def release_session(self, uid: str) -> None:
+        session = self.sessions.pop(uid, None)
+        if session is not None:
+            session.producer_s2cs.release(uid)
+            session.consumer_s2cs.release(uid)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<S2UC {self.name} sessions={len(self.sessions)}>"

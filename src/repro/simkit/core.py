@@ -1,0 +1,471 @@
+"""Core of the discrete-event simulation engine.
+
+This module implements a small, dependency-free, generator-based
+discrete-event simulation kernel in the style of SimPy.  Simulated
+"processes" are Python generator functions that ``yield`` events; the
+:class:`Environment` advances simulated time by popping the next scheduled
+event from a heap and resuming every process waiting on it.
+
+The engine is the substrate on which the whole reproduction is built: network
+links, AMQP brokers, SciStream proxies, load balancers, producers and
+consumers are all simkit processes exchanging events.
+
+Design notes
+------------
+* Time is a ``float`` in simulated seconds.  The engine never interprets the
+  unit; higher layers (``repro.netsim.units``) provide conversion helpers.
+* Events are triggered at most once.  Triggering schedules all registered
+  callbacks at the trigger time.
+* A :class:`Process` is itself an event that succeeds with the generator's
+  return value (or fails with the exception that escaped it), so processes
+  can wait for each other simply by yielding the other process.
+* ``AnyOf`` / ``AllOf`` condition events support the common "wait for
+  whichever happens first" and "barrier" idioms.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable, Generator, Iterable
+from typing import Any, Optional
+
+from .errors import Interrupt, SchedulingError, SimkitError, StopSimulation
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Condition",
+    "AllOf",
+    "AnyOf",
+    "PENDING",
+]
+
+
+class _PendingType:
+    """Sentinel for an event value that has not been decided yet."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<PENDING>"
+
+
+#: Sentinel used as the value of untriggered events.
+PENDING = _PendingType()
+
+#: Priority used for ordering simultaneous events: urgent events (process
+#: resumption bookkeeping) run before normal ones.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """An event that may happen at some point in simulated time.
+
+    An event has three states: *pending* (created, not yet triggered),
+    *triggered* (scheduled to happen at a given time) and *processed* (its
+    callbacks have run).  An event carries a value once triggered: a normal
+    value for success, an exception instance for failure.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        #: Callbacks run when the event is processed.  ``None`` once processed.
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: Optional[bool] = None
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to occur."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have been executed."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value of the event (or the exception if it failed)."""
+        if self._value is PENDING:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    def defused(self) -> bool:
+        """Whether a failure of this event has been handled by someone."""
+        return self._defused
+
+    def defuse(self) -> None:
+        """Mark the failure as handled so the environment does not re-raise."""
+        self._defused = True
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SchedulingError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``."""
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        if self._value is not PENDING:
+            raise SchedulingError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (for chaining)."""
+        self._ok = event._ok
+        self._value = event._value
+        self.env._schedule(self, NORMAL)
+
+    # -- misc -------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        status = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {status} at 0x{id(self):x}>"
+
+
+class Timeout(Event):
+    """An event that triggers automatically after a delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal event that starts a newly created :class:`Process`."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._schedule(self, URGENT)
+
+
+class Process(Event):
+    """A simulated process wrapping a generator of events.
+
+    The process itself is an event: it triggers when the generator returns
+    (succeeds with the return value) or raises (fails with the exception).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment",
+                 generator: Generator[Event, Any, Any],
+                 name: str | None = None) -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        #: The event this process is currently waiting on.
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event the process is currently waiting for (if any)."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an :class:`Interrupt` into the process.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is about to be resumed is allowed and the interrupt wins.
+        """
+        if self._value is not PENDING:
+            raise SimkitError("cannot interrupt a terminated process")
+        if self._target is self:
+            raise SimkitError("a process cannot interrupt itself")
+        # Deliver as an urgent event so the interrupt arrives before any
+        # normal event scheduled at the same time.
+        event = Event(self.env)
+        event._ok = False
+        event._value = Interrupt(cause)
+        event._defused = True
+        event.callbacks.append(self._resume)
+        self.env._schedule(event, URGENT)
+        # Detach from the event we were waiting on so its normal completion
+        # no longer resumes us.
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # already detached
+                pass
+            self._target = None
+
+    # -- engine internals --------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Resume the generator with the value (or exception) of ``event``."""
+        self.env._active_proc = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    # The exception is being handed to the process, which
+                    # counts as handling it.
+                    event._defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(exc)
+            except StopIteration as exc:
+                # Process finished successfully.
+                self._ok = True
+                self._value = exc.value
+                self.env._schedule(self, NORMAL)
+                break
+            except BaseException as exc:  # noqa: BLE001 - deliberate
+                # Process died; propagate through the process event.
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self, NORMAL)
+                break
+
+            if next_event is None:
+                # Allow ``yield None`` as "yield control for zero time".
+                next_event = Timeout(self.env, 0)
+            if not isinstance(next_event, Event):
+                exc = RuntimeError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}")
+                event = Event(self.env)
+                event._ok = False
+                event._value = exc
+                continue
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: register and suspend.
+                self._target = next_event
+                next_event.callbacks.append(self._resume)
+                break
+            # Event already processed: continue immediately with its value.
+            event = next_event
+
+        self.env._active_proc = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Process {self.name!r} at 0x{id(self):x}>"
+
+
+class Condition(Event):
+    """An event that triggers when a condition over child events holds."""
+
+    __slots__ = ("_events", "_evaluate", "_count")
+
+    def __init__(self, env: "Environment",
+                 evaluate: Callable[[list[Event], int], bool],
+                 events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("events from different environments")
+
+        if not self._events:
+            self.succeed(self._collect_values())
+            return
+
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _collect_values(self) -> dict[Event, Any]:
+        """Values of all triggered (successful) child events, in order."""
+        return {e: e._value for e in self._events
+                if e.triggered and e._ok}
+
+    def _check(self, event: Event) -> None:
+        if self._value is not PENDING:
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+    @staticmethod
+    def all_events(events: list[Event], count: int) -> bool:
+        return len(events) == count
+
+    @staticmethod
+    def any_event(events: list[Event], count: int) -> bool:
+        return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Triggers once *all* of the given events have triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.all_events, events)
+
+
+class AnyOf(Condition):
+    """Triggers once *any* of the given events has triggered."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, Condition.any_event, events)
+
+
+class Environment:
+    """Execution environment for a discrete-event simulation.
+
+    The environment owns the event heap and the simulation clock.  It offers
+    factory helpers (:meth:`event`, :meth:`timeout`, :meth:`process`) so user
+    code rarely needs to instantiate event classes directly.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = itertools.count()
+        self._active_proc: Optional[Process] = None
+
+    # -- clock -------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_proc
+
+    # -- event factories ----------------------------------------------------
+    def event(self) -> Event:
+        """Create a new pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that triggers after ``delay`` simulated seconds."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: str | None = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue,
+                       (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises :class:`IndexError` if the queue is empty, and re-raises the
+        exception of any failed event that nobody defused (i.e. a crashed
+        process that no other process was waiting on).
+        """
+        when, _prio, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+        if event._ok is False and not event._defused:
+            # An unhandled failure: surface it to the caller of run()/step().
+            exc = event._value
+            raise exc
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be ``None`` (run until the event queue drains), a number
+        (run until that simulated time) or an :class:`Event` (run until it
+        triggers, returning its value).
+        """
+        until_event: Optional[Event] = None
+        if until is not None:
+            if isinstance(until, Event):
+                until_event = until
+                if until_event.callbacks is None:
+                    return until_event._value
+                until_event.callbacks.append(_stop_simulation)
+            else:
+                at = float(until)
+                if at < self._now:
+                    raise SchedulingError(
+                        f"until={at} lies before the current time {self._now}")
+                stop = Event(self)
+                stop._ok = True
+                stop._value = None
+                stop.callbacks.append(_stop_simulation)
+                self._schedule(stop, URGENT, at - self._now)
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        if until_event is not None and not until_event.triggered:
+            raise RuntimeError(
+                "run(until=event) finished but the event never triggered")
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Environment t={self._now:.6f} queued={len(self._queue)}>"
+
+
+def _stop_simulation(event: Event) -> None:
+    """Callback that aborts :meth:`Environment.run` with the event's value."""
+    if event._ok is False:
+        event._defused = True
+        raise event._value
+    raise StopSimulation(event._value)

@@ -1,0 +1,62 @@
+"""Exception types used by the :mod:`repro.simkit` discrete-event engine.
+
+The engine deliberately keeps its error taxonomy small: scheduling errors
+(attempting to schedule into the past, running a finished environment),
+process control errors (interrupting a dead process), and the special
+:class:`Interrupt` exception that is thrown *into* a process generator when
+another process interrupts it.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SimkitError",
+    "SchedulingError",
+    "StopSimulation",
+    "Interrupt",
+    "ResourceError",
+]
+
+
+class SimkitError(Exception):
+    """Base class for all simulation-engine errors."""
+
+
+class SchedulingError(SimkitError):
+    """Raised when an event is scheduled incorrectly.
+
+    Typical causes: a negative delay, triggering an already-triggered event,
+    or resuming an environment whose event queue is corrupted.
+    """
+
+
+class StopSimulation(SimkitError):
+    """Internal control-flow exception used by :meth:`Environment.run`.
+
+    Raised when the ``until`` event of a run triggers; user code should never
+    need to catch it.
+    """
+
+    def __init__(self, value: object = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(SimkitError):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The ``cause`` attribute carries the object passed to ``interrupt`` so the
+    interrupted process can decide how to react (e.g. a proxy shutting down a
+    connection vs. a timeout firing).
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> object:
+        return self.args[0]
+
+
+class ResourceError(SimkitError):
+    """Raised for invalid resource operations (e.g. releasing twice)."""

@@ -1,0 +1,146 @@
+"""Lightweight instrumentation for simulated components.
+
+Two primitives cover everything the evaluation needs:
+
+* :class:`Counter` — monotonically increasing counts (messages published,
+  messages consumed, bytes transferred, rejected publishes).
+* :class:`TimeSeries` — timestamped samples (per-message RTTs, queue depths,
+  link utilisation), with summary statistics computed lazily via numpy.
+
+A :class:`Monitor` groups named counters/series for one component and can be
+merged with others when the coordinator aggregates per-consumer results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Counter", "TimeSeries", "Monitor"]
+
+
+@dataclass
+class Counter:
+    """A named monotonically increasing counter."""
+
+    name: str
+    value: float = 0.0
+
+    def increment(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a separate counter")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+
+@dataclass
+class TimeSeries:
+    """Timestamped samples with numpy-backed summary statistics."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, time: float, value: float) -> None:
+        self.times.append(float(time))
+        self.values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def merge(self, other: "TimeSeries") -> None:
+        self.times.extend(other.times)
+        self.values.extend(other.values)
+
+    # -- statistics ---------------------------------------------------------
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        return np.asarray(self.times, dtype=float), np.asarray(self.values, dtype=float)
+
+    def mean(self) -> float:
+        return float(np.mean(self.values)) if self.values else float("nan")
+
+    def median(self) -> float:
+        return float(np.median(self.values)) if self.values else float("nan")
+
+    def percentile(self, q: float | Iterable[float]):
+        if not self.values:
+            return float("nan")
+        return np.percentile(np.asarray(self.values, dtype=float), q)
+
+    def minimum(self) -> float:
+        return float(np.min(self.values)) if self.values else float("nan")
+
+    def maximum(self) -> float:
+        return float(np.max(self.values)) if self.values else float("nan")
+
+    def cdf(self, points: int = 100) -> tuple[np.ndarray, np.ndarray]:
+        """Empirical CDF evaluated at ``points`` evenly spaced quantiles."""
+        if not self.values:
+            return np.array([]), np.array([])
+        values = np.sort(np.asarray(self.values, dtype=float))
+        probs = np.arange(1, len(values) + 1) / len(values)
+        if points >= len(values):
+            return values, probs
+        idx = np.linspace(0, len(values) - 1, points).astype(int)
+        return values[idx], probs[idx]
+
+
+class Monitor:
+    """Named collection of counters and time series for one component."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.counters: dict[str, Counter] = {}
+        self.series: dict[str, TimeSeries] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = Counter(name)
+            self.counters[name] = counter
+        return counter
+
+    def timeseries(self, name: str) -> TimeSeries:
+        series = self.series.get(name)
+        if series is None:
+            series = TimeSeries(name)
+            self.series[name] = series
+        return series
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).increment(amount)
+
+    def record(self, name: str, time: float, value: float) -> None:
+        self.timeseries(name).record(time, value)
+
+    def merge(self, other: "Monitor") -> None:
+        """Fold another monitor's measurements into this one."""
+        for name, counter in other.counters.items():
+            self.counter(name).merge(counter)
+        for name, series in other.series.items():
+            self.timeseries(name).merge(series)
+
+    def snapshot(self) -> dict:
+        """Plain-dict summary useful for result serialization."""
+        return {
+            "name": self.name,
+            "counters": {k: c.value for k, c in self.counters.items()},
+            "series": {
+                k: {
+                    "count": len(s),
+                    "mean": s.mean(),
+                    "median": s.median(),
+                    "min": s.minimum(),
+                    "max": s.maximum(),
+                }
+                for k, s in self.series.items()
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Monitor {self.name!r} counters={len(self.counters)} "
+                f"series={len(self.series)}>")

@@ -1,0 +1,35 @@
+"""Table 1 workloads: Dstream (Deleria/GRETA), Lstream (LCLS) and Generic."""
+
+from .deleria import DELERIA_EVENT_BYTES, DELERIA_EVENTS_PER_MESSAGE, DSTREAM
+from .generator import MessageBlueprint, WorkloadGenerator
+from .generic import GENERIC
+from .lcls import LSTREAM
+from .spec import WorkloadSpec
+
+__all__ = [
+    "WorkloadSpec",
+    "WorkloadGenerator",
+    "MessageBlueprint",
+    "DSTREAM",
+    "LSTREAM",
+    "GENERIC",
+    "DELERIA_EVENT_BYTES",
+    "DELERIA_EVENTS_PER_MESSAGE",
+    "WORKLOADS",
+    "get_workload",
+]
+
+#: Registry of the Table 1 workloads by name.
+WORKLOADS = {
+    "Dstream": DSTREAM,
+    "Lstream": LSTREAM,
+    "Generic": GENERIC,
+}
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a Table 1 workload by its name (case-insensitive)."""
+    for key, spec in WORKLOADS.items():
+        if key.lower() == name.lower():
+            return spec
+    raise KeyError(f"unknown workload {name!r}; expected one of {sorted(WORKLOADS)}")

@@ -1,0 +1,53 @@
+"""The Deleria / GRETA workload (Dstream).
+
+GRETA (Gamma-Ray Energy Tracking Array) streams gamma-ray events from FRIB
+over ESnet to hundreds of analysis processes; its workflow software,
+Deleria, batches multiple experimental events per message (compressed
+binary; control messages are JSON) and sustains up to 32 Gbps / 500K events
+per second.  Producers and consumers are independent processes (non-MPI):
+consumers pull event batches from a forward buffer and push processed
+events to an event builder.
+
+§5.1 fixes the per-event payload to 2 KiB and the batch to eight events per
+message, i.e. 16 KiB messages, which is what :data:`DSTREAM` encodes.
+"""
+
+from __future__ import annotations
+
+from ..netsim import units
+from .spec import WorkloadSpec
+
+__all__ = ["DSTREAM", "DELERIA_EVENT_BYTES", "DELERIA_EVENTS_PER_MESSAGE"]
+
+#: Fixed per-event payload used in the evaluation (§5.1).
+DELERIA_EVENT_BYTES = units.kib(2)
+
+#: Fixed number of events batched into each message (§5.1).
+DELERIA_EVENTS_PER_MESSAGE = 8
+
+#: The Dstream workload of Table 1.
+DSTREAM = WorkloadSpec(
+    name="Dstream",
+    payload_bytes=DELERIA_EVENT_BYTES * DELERIA_EVENTS_PER_MESSAGE,
+    payload_format="binary",
+    payload_element="events",
+    events_per_message=DELERIA_EVENTS_PER_MESSAGE,
+    event_bytes=DELERIA_EVENT_BYTES,
+    data_rate_bps=units.gbps(32),
+    mpi_producers=False,
+    mpi_consumers=False,
+    variable_events=True,
+    description=(
+        "GRETA/Deleria gamma-ray event stream: KiB-range compressed binary "
+        "messages, each batching multiple detector events; up to 32 Gbps "
+        "sustained; non-MPI parallel producers and consumers."
+    ),
+    metadata={
+        "facility": "FRIB (Michigan State University)",
+        "detector": "GRETA",
+        "workflow": "Deleria",
+        "events_per_second": 500_000,
+        "emulated_detectors": 120,
+        "emulated_rate_gbps": 35,
+    },
+)

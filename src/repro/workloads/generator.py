@@ -1,0 +1,97 @@
+"""Workload generators: turn a :class:`WorkloadSpec` into concrete messages.
+
+A :class:`WorkloadGenerator` produces per-message descriptions (payload
+size, event count, headers) for one producer, reproducing the packaging
+rules of §5.1: Deleria batches a (nominally variable, evaluation-fixed)
+number of 2 KiB events per message, LCLS wraps one HDF5 payload per
+message, the generic workload sends one 4 MiB variable per message.
+Optionally the generator paces messages to the workload's nominal data rate
+(experiment-steering mode); throughput experiments push as fast as the
+streaming service allows (the paper's default).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .spec import WorkloadSpec
+
+__all__ = ["MessageBlueprint", "WorkloadGenerator"]
+
+
+@dataclass(frozen=True)
+class MessageBlueprint:
+    """What one generated message should look like."""
+
+    sequence: int
+    payload_bytes: float
+    event_count: int
+    payload_format: str
+    headers: dict
+
+    @property
+    def is_control(self) -> bool:
+        return bool(self.headers.get("control", False))
+
+
+class WorkloadGenerator:
+    """Generates message blueprints for one producer."""
+
+    def __init__(self, spec: WorkloadSpec, *,
+                 rng: Optional[np.random.Generator] = None,
+                 vary_events: bool = False,
+                 rate_limited: bool = False,
+                 num_producers: int = 1) -> None:
+        self.spec = spec
+        self.rng = rng or np.random.default_rng(0)
+        #: Whether to vary the events/message count (Deleria's natural mode);
+        #: the paper's evaluation fixes it for consistency, so default False.
+        self.vary_events = vary_events and spec.variable_events
+        self.rate_limited = rate_limited
+        self.num_producers = max(1, int(num_producers))
+        self._sequence = 0
+
+    # -- message shaping -----------------------------------------------------------
+    def next_blueprint(self) -> MessageBlueprint:
+        """Describe the next message this producer should send."""
+        spec = self.spec
+        if self.vary_events and spec.events_per_message > 1:
+            # Vary the batch between half and double the nominal count.
+            low = max(1, spec.events_per_message // 2)
+            high = spec.events_per_message * 2
+            event_count = int(self.rng.integers(low, high + 1))
+            payload = event_count * spec.effective_event_bytes
+        else:
+            event_count = spec.events_per_message
+            payload = spec.payload_bytes
+        blueprint = MessageBlueprint(
+            sequence=self._sequence,
+            payload_bytes=float(payload),
+            event_count=event_count,
+            payload_format=spec.payload_format,
+            headers={"workload": spec.name, "sequence": self._sequence},
+        )
+        self._sequence += 1
+        return blueprint
+
+    def reply_payload_bytes(self) -> float:
+        """Payload size consumers use when replying to a message."""
+        return self.spec.effective_reply_bytes
+
+    # -- pacing -----------------------------------------------------------
+    def send_interval(self) -> float:
+        """Gap the producer should wait between messages (0 = full speed)."""
+        if not self.rate_limited:
+            return 0.0
+        return self.spec.producer_interval(self.num_producers)
+
+    @property
+    def messages_generated(self) -> int:
+        return self._sequence
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<WorkloadGenerator {self.spec.name} generated={self._sequence} "
+                f"rate_limited={self.rate_limited}>")

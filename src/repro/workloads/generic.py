@@ -1,0 +1,34 @@
+"""The generic streaming workload.
+
+The third workload of Table 1 is "a generic scenario with arbitrarily
+defined streaming characteristics": 4 MiB binary messages carrying one
+variable each, 25 Gbps, MPI-launched producers and consumers.  It is used
+for the broadcast and gather pattern (§5.5), where its large payload makes
+the 1 Gbps consumer links saturate quickly.
+"""
+
+from __future__ import annotations
+
+from ..netsim import units
+from .spec import WorkloadSpec
+
+__all__ = ["GENERIC"]
+
+#: The generic workload of Table 1.
+GENERIC = WorkloadSpec(
+    name="Generic",
+    payload_bytes=units.mib(4),
+    payload_format="binary",
+    payload_element="variables",
+    events_per_message=1,
+    data_rate_bps=units.gbps(25),
+    mpi_producers=True,
+    mpi_consumers=True,
+    # Gather replies carry the full 4 MiB item back to the single producer;
+    # this is what creates the paper's "single-producer bottleneck" where all
+    # three architectures' RTTs converge as consumers scale (§5.5).
+    description=(
+        "Generic streaming scenario: 4 MiB binary messages, one variable per "
+        "message, 25 Gbps, MPI-based parallel producers and consumers."
+    ),
+)

@@ -1,0 +1,39 @@
+"""The LCLS / LCLStream workload (Lstream).
+
+The Linac Coherent Light Source at SLAC streams X-ray detector data to HPC
+for rapid analysis between experiment runs; the LCLStream pilot trains AI
+models (hit classification, Bragg-peak segmentation, image reconstruction)
+on streamed detector data.  §5.1/Table 1: ≈1 MiB HDF5-formatted payloads,
+≈30 Gbps sustained over 1–100 minutes, MPI-launched producers and
+consumers, messages pushed to consumers round-robin.
+"""
+
+from __future__ import annotations
+
+from ..netsim import units
+from .spec import WorkloadSpec
+
+__all__ = ["LSTREAM"]
+
+#: The Lstream workload of Table 1.
+LSTREAM = WorkloadSpec(
+    name="Lstream",
+    payload_bytes=units.mib(1),
+    payload_format="hdf5",
+    payload_element="events",
+    events_per_message=1,
+    data_rate_bps=units.gbps(30),
+    mpi_producers=True,
+    mpi_consumers=True,
+    variable_events=True,
+    description=(
+        "LCLS/LCLStream X-ray detector stream: ≈1 MiB HDF5 messages at a "
+        "steady ≈30 Gbps, MPI-based parallel producers and consumers."
+    ),
+    metadata={
+        "facility": "SLAC National Accelerator Laboratory",
+        "instrument": "LCLS / LCLS-II",
+        "lcls2_target_rate": "100 GB/s",
+        "duration_minutes": (1, 100),
+    },
+)

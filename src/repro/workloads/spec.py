@@ -1,0 +1,94 @@
+"""Workload specifications (the rows of Table 1).
+
+A :class:`WorkloadSpec` captures the data-streaming characteristics the
+paper tabulates for each workload: payload size and format, how events are
+packaged into messages, the sustained data rate of the source, and whether
+producers/consumers are launched with MPI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..netsim import units
+
+__all__ = ["WorkloadSpec"]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Streaming characteristics of one workload (one column of Table 1)."""
+
+    name: str
+    #: Bytes of application payload per message.
+    payload_bytes: float
+    #: Payload encoding ("binary", "hdf5", "json").
+    payload_format: str = "binary"
+    #: What a payload element represents ("events", "variables").
+    payload_element: str = "events"
+    #: Number of events batched into one message (1 = one item per message).
+    events_per_message: int = 1
+    #: Bytes per event (payload_bytes / events_per_message when batched).
+    event_bytes: float = 0.0
+    #: Sustained source data rate in bits per second.
+    data_rate_bps: float = units.gbps(1)
+    #: Whether producers are launched as an MPI job.
+    mpi_producers: bool = False
+    #: Whether consumers are launched as an MPI job.
+    mpi_consumers: bool = False
+    #: Payload bytes of a reply in request/reply (feedback, gather) patterns.
+    reply_bytes: float = 0.0
+    #: Whether the number of events per message varies (Deleria) or is fixed.
+    variable_events: bool = False
+    #: Prose description for documentation/tables.
+    description: str = ""
+    #: Extra metadata (detector name, provenance).
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0:
+            raise ValueError("payload_bytes must be positive")
+        if self.events_per_message < 1:
+            raise ValueError("events_per_message must be >= 1")
+        if self.data_rate_bps <= 0:
+            raise ValueError("data_rate_bps must be positive")
+
+    @property
+    def effective_event_bytes(self) -> float:
+        """Bytes per event (derived when not given explicitly)."""
+        if self.event_bytes:
+            return self.event_bytes
+        return self.payload_bytes / self.events_per_message
+
+    @property
+    def effective_reply_bytes(self) -> float:
+        """Reply payload size; defaults to the request payload size."""
+        return self.reply_bytes if self.reply_bytes else self.payload_bytes
+
+    def messages_per_second_at_rate(self) -> float:
+        """Message rate needed to sustain the nominal data rate."""
+        return self.data_rate_bps / units.bits(self.payload_bytes)
+
+    def producer_interval(self, num_producers: int) -> float:
+        """Per-producer inter-message gap to sustain the nominal data rate."""
+        if num_producers < 1:
+            raise ValueError("num_producers must be >= 1")
+        aggregate = self.messages_per_second_at_rate()
+        return num_producers / aggregate
+
+    def table_row(self) -> dict:
+        """The Table 1 row for this workload (human-readable units)."""
+        return {
+            "workload": self.name,
+            "payload_size": units.pretty_size(self.payload_bytes),
+            "payload_format": self.payload_format.upper()
+            if self.payload_format == "hdf5" else self.payload_format.capitalize(),
+            "payload_element": self.payload_element.capitalize(),
+            "data_packaging": (f"{self.events_per_message} events/msg"
+                               if self.events_per_message > 1 else "One item/msg"),
+            "data_rate": f"{self.data_rate_bps / 1e9:.0f} Gbps",
+            "production_parallelism": ("Parallel (MPI-based)" if self.mpi_producers
+                                       else "Parallel (non-MPI)"),
+            "consumption_parallelism": ("Parallel (MPI-based)" if self.mpi_consumers
+                                        else "Parallel (non-MPI)"),
+        }

@@ -1,0 +1,105 @@
+"""Property-based tests of the AMQP substrate (hypothesis).
+
+Invariants checked:
+
+* message conservation in a classic queue: every accepted publish is either
+  still ready, unacknowledged, or acknowledged — nothing is lost or
+  duplicated, for any interleaving of sizes and for any prefetch setting,
+* the overflow policy never admits more than ``max_length`` ready messages,
+* exchange routing is deterministic and fanout reaches every bound queue.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.amqp import ExchangeType, QueuePolicy
+from repro.amqp.exchange import Exchange
+from repro.amqp.queue import ClassicQueue
+from repro.netsim import MessageFactory
+from repro.simkit import Environment
+
+_settings = settings(max_examples=30, deadline=None)
+
+
+@_settings
+@given(payloads=st.lists(st.integers(min_value=1, max_value=10_000),
+                         min_size=1, max_size=40),
+       prefetch=st.integers(min_value=0, max_value=10),
+       consumers=st.integers(min_value=1, max_value=4))
+def test_queue_conserves_messages(payloads, prefetch, consumers):
+    env = Environment()
+    queue = ClassicQueue(env, "q")
+    factory = MessageFactory("prod")
+    delivered = []
+
+    def deliver(message):
+        yield env.timeout(0.001)
+        delivered.append(message)
+        # Acknowledge immediately so credit keeps flowing.
+        queue.ack(message.headers["delivery_tag"])
+
+    for index in range(consumers):
+        queue.subscribe(f"c{index}", deliver, prefetch=prefetch)
+
+    accepted = 0
+    for payload in payloads:
+        outcome = queue.publish(factory.create(payload, now=0.0, routing_key="q"))
+        if outcome.accepted:
+            accepted += 1
+    env.run()
+
+    assert accepted == len(payloads)
+    # Conservation: accepted = acked + unacked + ready.
+    assert accepted == queue.acked + queue.unacked_count + queue.ready_count
+    # With immediate acks everything must eventually drain.
+    assert queue.ready_count == 0
+    assert queue.unacked_count == 0
+    assert len(delivered) == accepted
+
+
+@_settings
+@given(max_length=st.integers(min_value=1, max_value=10),
+       publishes=st.integers(min_value=1, max_value=40))
+def test_reject_publish_never_exceeds_max_length(max_length, publishes):
+    env = Environment()
+    queue = ClassicQueue(env, "q", policy=QueuePolicy(max_length=max_length))
+    factory = MessageFactory("prod")
+    accepted = rejected = 0
+    for _ in range(publishes):
+        outcome = queue.publish(factory.create(100, now=0.0, routing_key="q"))
+        if outcome.accepted:
+            accepted += 1
+        else:
+            rejected += 1
+        assert queue.ready_count <= max_length
+    assert accepted == min(publishes, max_length)
+    assert accepted + rejected == publishes
+
+
+@_settings
+@given(keys=st.lists(st.sampled_from(["work-0", "work-1", "other"]),
+                     min_size=1, max_size=20))
+def test_direct_exchange_routing_is_deterministic(keys):
+    ex = Exchange("jobs", ExchangeType.DIRECT)
+    ex.bind("q0", "work-0")
+    ex.bind("q1", "work-1")
+    for key in keys:
+        first = ex.route(key)
+        second = ex.route(key)
+        assert first == second
+        if key == "other":
+            assert first == []
+        else:
+            assert first == [f"q{key[-1]}"]
+
+
+@_settings
+@given(queue_count=st.integers(min_value=1, max_value=10),
+       routing_key=st.text(max_size=10))
+def test_fanout_reaches_every_bound_queue(queue_count, routing_key):
+    ex = Exchange("bcast", ExchangeType.FANOUT)
+    names = [f"q{i}" for i in range(queue_count)]
+    for name in names:
+        ex.bind(name)
+    assert ex.route(routing_key) == names

@@ -1,0 +1,84 @@
+"""Unit tests for the shared emulated ACE testbed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simkit import Environment
+from repro.architectures import Testbed, TestbedConfig
+from repro.netsim import units
+
+
+def small_config(**overrides):
+    params = dict(producer_nodes=2, consumer_nodes=2, dsn_count=3)
+    params.update(overrides)
+    return TestbedConfig(**params)
+
+
+def test_testbed_builds_paper_topology_defaults():
+    env = Environment()
+    testbed = Testbed(env)
+    assert len(testbed.producer_pool) == 16
+    assert len(testbed.consumer_pool) == 16
+    assert len(testbed.dsn_nodes) == 3
+    assert testbed.broker_cluster.size == 3
+    assert testbed.coordinator_node.name not in [n.name for n in testbed.producer_pool]
+
+
+def test_testbed_links_every_host_to_core():
+    env = Environment()
+    testbed = Testbed(env, small_config())
+    for name in ["dsn1", "dsn2", "dsn3", "gw-prod", "gw-cons", "lb1", "ingress1",
+                 "andes1", "andes2"]:
+        assert testbed.network.has_link(name, "olcf-core")
+        assert testbed.network.has_link("olcf-core", name)
+    # Dedicated gateway-to-gateway tunnel segment exists.
+    assert testbed.network.has_link("gw-prod", "gw-cons")
+
+
+def test_testbed_rabbitmq_pods_spread_across_dsns():
+    env = Environment()
+    testbed = Testbed(env, small_config())
+    nodes = {pod.node.name for pod in testbed.rabbitmq_pods}
+    assert nodes == {"dsn1", "dsn2", "dsn3"}
+
+
+def test_testbed_host_helpers_wrap_around():
+    env = Environment()
+    testbed = Testbed(env, small_config())
+    assert testbed.producer_host(0) == testbed.producer_pool[0].name
+    assert testbed.producer_host(2) == testbed.producer_pool[0].name
+    assert testbed.consumer_host(1) == testbed.consumer_pool[1].name
+
+
+def test_testbed_declare_work_queue_uses_bounded_policy():
+    env = Environment()
+    testbed = Testbed(env, small_config(queue_max_length=123))
+    queue = testbed.declare_work_queue("workq")
+    assert queue.policy.max_length == 123
+    assert "workq" in testbed.broker_cluster.queues()
+
+
+def test_testbed_config_validation():
+    with pytest.raises(ValueError):
+        TestbedConfig(producer_nodes=0)
+    with pytest.raises(ValueError):
+        TestbedConfig(dsn_count=0)
+    with pytest.raises(ValueError):
+        TestbedConfig(link_bandwidth_bps=0)
+
+
+def test_testbed_custom_bandwidth_applied():
+    env = Environment()
+    testbed = Testbed(env, small_config(link_bandwidth_bps=units.gbps(100)))
+    link = testbed.network.link_between("andes1", "olcf-core")
+    assert link.bandwidth_bps == units.gbps(100)
+
+
+def test_testbed_describe_contains_key_elements():
+    env = Environment()
+    testbed = Testbed(env, small_config())
+    description = testbed.describe()
+    assert description["dsns"] == ["dsn1", "dsn2", "dsn3"]
+    assert len(description["producer_nodes"]) == 2
+    assert description["coordinator"].startswith("andes")

@@ -1,0 +1,149 @@
+"""Unit tests for facilities, the WAN and the compute cluster/launcher."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simkit import Environment
+from repro.netsim import Network
+from repro.netsim import units
+from repro.cluster import ComputeCluster, Facility, JobLauncher, WideAreaNetwork
+from repro.cluster.specs import ANDES_SPEC, DSN_SPEC
+
+
+def test_facility_add_host_and_membership():
+    env = Environment()
+    net = Network(env)
+    olcf = Facility(env, "olcf", net)
+    olcf.add_host("dsn1", DSN_SPEC, role="dsn")
+    assert olcf.contains("dsn1")
+    assert not olcf.contains("elsewhere")
+    assert olcf.hosts == ["dsn1"]
+
+
+def test_facility_adopt_host_requires_existing_node():
+    env = Environment()
+    net = Network(env)
+    olcf = Facility(env, "olcf", net)
+    net.add_node("shared")
+    olcf.adopt_host("shared")
+    olcf.adopt_host("shared")  # idempotent
+    assert olcf.hosts == ["shared"]
+    with pytest.raises(KeyError):
+        olcf.adopt_host("missing")
+
+
+def test_facility_border_and_wan_join():
+    env = Environment()
+    net = Network(env)
+    exp = Facility(env, "slac", net)
+    hpc = Facility(env, "olcf", net)
+    exp.add_host("exp-gw")
+    hpc.add_host("olcf-gw")
+    exp.set_border("exp-gw")
+    hpc.set_border("olcf-gw")
+    wan = WideAreaNetwork(env, net, latency_s=0.03)
+    wan.join(exp, hpc)
+    assert net.has_link("exp-gw", "olcf-gw")
+    assert net.has_link("olcf-gw", "exp-gw")
+    assert wan.crosses_wan(exp, hpc)
+    assert not wan.crosses_wan(exp, exp)
+    assert net.link_between("exp-gw", "olcf-gw").latency_s == pytest.approx(0.03)
+
+
+def test_facility_border_unset_raises():
+    env = Environment()
+    net = Network(env)
+    fac = Facility(env, "x", net)
+    with pytest.raises(RuntimeError):
+        _ = fac.border
+    fac.add_host("h")
+    with pytest.raises(ValueError):
+        fac.set_border("not-a-member")
+
+
+def test_facility_firewall_and_burden_accounting():
+    env = Environment()
+    net = Network(env)
+    olcf = Facility(env, "olcf", net)
+    olcf.add_host("dsn1")
+    olcf.open_ingress("198.51.100.0/24", "dsn1", 30671, description="AMQPS")
+    assert olcf.permits_ingress("198.51.100.5", "dsn1", 30671)
+    assert not olcf.permits_ingress("203.0.113.1", "dsn1", 30671)
+    burden = olcf.administrative_burden()
+    assert burden["firewall_rules"] == 1
+    with pytest.raises(ValueError):
+        olcf.open_ingress("any", "unknown-host", 443)
+
+
+def test_compute_cluster_creates_named_nodes():
+    env = Environment()
+    net = Network(env)
+    andes = ComputeCluster(env, "andes", net, node_count=5)
+    assert len(andes.nodes) == 5
+    assert andes.node_names[0] == "andes1"
+    assert andes.node(7).name == "andes3"  # wraps around
+    assert andes.nodes[0].spec == ANDES_SPEC
+
+
+def test_compute_cluster_rejects_zero_nodes():
+    env = Environment()
+    net = Network(env)
+    with pytest.raises(ValueError):
+        ComputeCluster(env, "andes", net, node_count=0)
+
+
+def test_partition_matches_paper_layout():
+    env = Environment()
+    net = Network(env)
+    andes = ComputeCluster(env, "andes", net, node_count=33)
+    pools = andes.partition(producers=16, consumers=16)
+    assert len(pools["producers"]) == 16
+    assert len(pools["consumers"]) == 16
+    assert len(pools["coordinator"]) == 1
+    all_names = {n.name for n in pools["producers"]} | {n.name for n in pools["consumers"]}
+    assert pools["coordinator"][0].name not in all_names
+
+
+def test_partition_small_cluster_without_coordinator():
+    env = Environment()
+    net = Network(env)
+    andes = ComputeCluster(env, "andes", net, node_count=2)
+    pools = andes.partition(1, 1, coordinator=False)
+    assert "coordinator" not in pools
+    assert pools["producers"] and pools["consumers"]
+
+
+def test_partition_too_small_raises():
+    env = Environment()
+    net = Network(env)
+    andes = ComputeCluster(env, "andes", net, node_count=1)
+    with pytest.raises(ValueError):
+        andes.partition(1, 1)
+
+
+def test_job_launcher_mpi_vs_non_mpi_delays():
+    env = Environment()
+    net = Network(env)
+    andes = ComputeCluster(env, "andes", net, node_count=4)
+    launcher = JobLauncher(andes)
+    pool = andes.nodes[:2]
+    mpi = launcher.place("consumer", 4, pool, use_mpi=True)
+    non_mpi = launcher.place("consumer", 4, pool, use_mpi=False)
+    assert all(p.launch_delay_s == launcher.mpi_launch_overhead_s for p in mpi)
+    assert non_mpi[0].launch_delay_s == 0.0
+    assert non_mpi[3].launch_delay_s == pytest.approx(3 * launcher.non_mpi_stagger_s)
+    # Round-robin over the pool.
+    assert [p.node_name for p in mpi] == ["andes1", "andes2", "andes1", "andes2"]
+    assert launcher.ranks_per_node(mpi) == {"andes1": 2, "andes2": 2}
+
+
+def test_job_launcher_argument_validation():
+    env = Environment()
+    net = Network(env)
+    andes = ComputeCluster(env, "andes", net, node_count=2)
+    launcher = JobLauncher(andes)
+    with pytest.raises(ValueError):
+        launcher.place("producer", 0, andes.nodes, use_mpi=True)
+    with pytest.raises(ValueError):
+        launcher.place("producer", 1, [], use_mpi=True)

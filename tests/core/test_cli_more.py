@@ -1,0 +1,33 @@
+"""Additional CLI coverage: compare, figure and deployment subcommands."""
+
+from __future__ import annotations
+
+from repro.cli import main
+
+
+def test_cli_compare_two_architectures(capsys, tmp_path):
+    csv_path = tmp_path / "compare.csv"
+    code = main(["compare", "--workload", "Dstream", "--pattern", "work_sharing",
+                 "--consumers", "2", "--messages", "6",
+                 "--architectures", "DTS", "MSS", "--csv", str(csv_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "DTS" in out and "MSS" in out
+    assert "throughput_msgs_per_s" in out
+    content = csv_path.read_text()
+    assert content.count("\n") >= 3   # header + 2 rows
+
+
+def test_cli_figure_fig7_small(capsys):
+    code = main(["figure", "fig7", "--messages", "3", "--consumers", "1", "2"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "broadcast" in out
+
+
+def test_cli_deployment(capsys):
+    code = main(["deployment", "--architectures", "DTS", "MSS"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "multi_user_scalability" in out
+    assert "DTS" in out and "MSS" in out

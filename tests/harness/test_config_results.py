@@ -1,0 +1,198 @@
+"""Unit tests for experiment configs, result containers and the coordinator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.architectures import TestbedConfig
+from repro.harness import ExperimentConfig, Coordinator, ExperimentResult, RunResult
+from repro.metrics import compute_rtt, compute_throughput
+from repro.netsim import MessageFactory
+from repro.simkit import Environment
+
+
+# ---------------------------------------------------------------------------
+# ExperimentConfig
+# ---------------------------------------------------------------------------
+
+def test_config_defaults_are_valid():
+    config = ExperimentConfig()
+    assert config.architecture == "DTS"
+    assert config.total_messages == config.num_producers * config.messages_per_producer
+
+
+def test_config_validation_errors():
+    with pytest.raises(ValueError):
+        ExperimentConfig(architecture="FTP")
+    with pytest.raises(ValueError):
+        ExperimentConfig(workload="Xstream")
+    with pytest.raises(ValueError):
+        ExperimentConfig(pattern="ring")
+    with pytest.raises(ValueError):
+        ExperimentConfig(num_producers=0)
+    with pytest.raises(ValueError):
+        ExperimentConfig(messages_per_producer=0)
+    with pytest.raises(ValueError):
+        ExperimentConfig(runs=0)
+    with pytest.raises(ValueError):
+        ExperimentConfig(pattern="broadcast", num_producers=2)
+
+
+def test_config_with_consumers_scales_producers_for_work_sharing():
+    config = ExperimentConfig(pattern="work_sharing", num_producers=1, num_consumers=1)
+    scaled = config.with_consumers(8)
+    assert scaled.num_consumers == 8
+    assert scaled.num_producers == 8
+    fixed = config.with_consumers(8, equal_producers=False)
+    assert fixed.num_producers == 1
+
+
+def test_config_with_consumers_keeps_single_producer_for_broadcast():
+    config = ExperimentConfig(pattern="broadcast_gather", num_producers=1)
+    scaled = config.with_consumers(16)
+    assert scaled.num_producers == 1
+    assert scaled.num_consumers == 16
+
+
+def test_config_with_architecture_merges_options():
+    config = ExperimentConfig(architecture="DTS",
+                              architecture_options={"use_tls": True})
+    new = config.with_architecture("MSS", bypass_lb_for_internal=True)
+    assert new.architecture == "MSS"
+    assert new.architecture_options == {"use_tls": True,
+                                        "bypass_lb_for_internal": True}
+    # original untouched
+    assert config.architecture == "DTS"
+
+
+def test_config_run_seed_distinct_per_run():
+    config = ExperimentConfig(seed=7)
+    assert config.run_seed(0) != config.run_seed(1)
+
+
+def test_config_describe():
+    config = ExperimentConfig()
+    description = config.describe()
+    assert description["architecture"] == "DTS"
+    assert description["pattern"] == "work_sharing"
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+def make_message(now=0.0, created=0.0):
+    msg = MessageFactory("p").create(1024, now=created, routing_key="q")
+    return msg
+
+
+def test_coordinator_done_triggers_on_targets():
+    env = Environment()
+    coordinator = Coordinator(env, expected_consumed=2, expected_replies=1)
+    assert not coordinator.done.triggered
+    m1, m2 = make_message(), make_message()
+    coordinator.record_publish(m1)
+    coordinator.record_consume(m1, "cons-0")
+    coordinator.record_consume(m2, "cons-1")
+    assert not coordinator.done.triggered  # replies still missing
+    reply = m1.make_reply(128, now=1.0)
+    coordinator.record_reply(reply, "prod-0")
+    assert coordinator.done.triggered
+    assert coordinator.targets_met()
+
+
+def test_coordinator_rtt_samples_from_reply_headers():
+    env = Environment(initial_time=0.0)
+    coordinator = Coordinator(env, expected_consumed=0, expected_replies=1)
+    request = MessageFactory("p").create(1024, now=0.0)
+    request.created_at = 0.0
+
+    def proc(env):
+        yield env.timeout(0.5)
+        reply = request.make_reply(10, now=env.now)
+        coordinator.record_reply(reply, "prod-0")
+
+    env.process(proc(env))
+    env.run()
+    assert coordinator.rtt_samples == [pytest.approx(0.5)]
+
+
+def test_coordinator_measurement_window_and_balance():
+    env = Environment()
+    coordinator = Coordinator(env, expected_consumed=10)
+    m = make_message()
+    coordinator.record_publish(m)
+    coordinator.record_consume(m, "cons-0")
+    coordinator.record_consume(make_message(), "cons-0")
+    coordinator.record_consume(make_message(), "cons-1")
+    start, end = coordinator.measurement_window()
+    assert start <= end
+    assert coordinator.balance_across_consumers() == pytest.approx(2.0)
+    snapshot = coordinator.snapshot()
+    assert snapshot["consumed"] == 3
+
+
+def test_coordinator_rejects_negative_targets():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Coordinator(env, expected_consumed=-1)
+
+
+def test_coordinator_queue_announcement():
+    env = Environment()
+    coordinator = Coordinator(env, expected_consumed=1)
+    coordinator.announce_queues(["work-0", "work-1"], {"prod-0": "reply.prod-0"})
+    assert coordinator.work_queues == ["work-0", "work-1"]
+    assert coordinator.reply_queues["prod-0"] == "reply.prod-0"
+
+
+# ---------------------------------------------------------------------------
+# RunResult / ExperimentResult
+# ---------------------------------------------------------------------------
+
+def make_run(tput=100.0, rtt_median=0.05, feasible=True):
+    run = RunResult(architecture="DTS", workload="Dstream", pattern="work_sharing",
+                    num_producers=2, num_consumers=2, feasible=feasible)
+    if feasible:
+        run.consumed = 100
+        run.throughput = compute_throughput(messages=100, payload_bytes=100 * 1024,
+                                            first_publish_s=0.0,
+                                            last_consume_s=100.0 / tput)
+        run.rtt = compute_rtt([rtt_median] * 5)
+    return run
+
+
+def test_experiment_result_averages_runs():
+    result = ExperimentResult(architecture="DTS", workload="Dstream",
+                              pattern="work_sharing", num_producers=2, num_consumers=2)
+    result.runs = [make_run(100.0, 0.04), make_run(200.0, 0.06)]
+    assert result.feasible
+    assert result.throughput_msgs_per_s == pytest.approx(150.0)
+    assert result.median_rtt_s == pytest.approx(0.05)
+    assert result.consumed == 200
+    assert len(result.rtt_samples) == 10
+    assert result.pooled_rtt().count == 10
+    row = result.as_row()
+    assert row["architecture"] == "DTS"
+    assert row["consumers"] == 2
+
+
+def test_experiment_result_infeasible_propagates():
+    result = ExperimentResult(architecture="PRS(Stunnel)", workload="Dstream",
+                              pattern="work_sharing", num_producers=32, num_consumers=32)
+    bad = make_run(feasible=False)
+    bad.infeasible_reason = "stunnel supports at most 16"
+    result.runs = [bad]
+    assert not result.feasible
+    assert "stunnel" in result.infeasible_reason
+    assert math.isnan(result.throughput_msgs_per_s)
+    assert result.rtt_samples.size == 0
+
+
+def test_run_result_dict_shape():
+    run = make_run()
+    payload = run.as_dict()
+    assert payload["throughput_msgs_per_s"] > 0
+    assert payload["feasible"] is True

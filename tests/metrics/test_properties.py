@@ -1,0 +1,79 @@
+"""Property-based tests of the metrics layer (hypothesis)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics import (
+    compute_rtt,
+    compute_throughput,
+    empirical_cdf,
+    overhead_factor,
+    summarize,
+)
+
+_settings = settings(max_examples=50, deadline=None)
+
+samples = st.lists(st.floats(min_value=1e-6, max_value=1e3,
+                             allow_nan=False, allow_infinity=False),
+                   min_size=1, max_size=200)
+
+
+@_settings
+@given(values=samples)
+def test_summary_bounds(values):
+    stats = summarize(values)
+    assert stats.count == len(values)
+    assert stats.minimum <= stats.median <= stats.maximum
+    assert stats.minimum <= stats.mean <= stats.maximum
+    assert stats.p10 <= stats.p90 <= stats.p99 <= stats.maximum + 1e-12
+
+
+@_settings
+@given(values=samples, points=st.integers(min_value=2, max_value=50))
+def test_cdf_is_a_distribution(values, points):
+    x, p = empirical_cdf(values, points=points)
+    assert np.all(np.diff(x) >= 0)
+    assert np.all(np.diff(p) >= 0)
+    assert 0 < p[0] <= 1.0
+    assert p[-1] == 1.0
+    assert x[0] >= min(values) - 1e-12
+    assert x[-1] <= max(values) + 1e-12
+
+
+@_settings
+@given(values=samples)
+def test_rtt_fraction_under_is_consistent_with_median(values):
+    result = compute_rtt(values)
+    median = result.median_s
+    fraction = result.fraction_under(median)
+    assert 0.5 - 1e-9 <= fraction <= 1.0
+
+
+@_settings
+@given(messages=st.integers(min_value=1, max_value=10 ** 6),
+       payload=st.floats(min_value=1, max_value=1e12, allow_nan=False),
+       duration=st.floats(min_value=1e-3, max_value=1e5, allow_nan=False))
+def test_throughput_is_ratio_of_count_and_duration(messages, payload, duration):
+    result = compute_throughput(messages=messages, payload_bytes=payload,
+                                first_publish_s=0.0, last_consume_s=duration)
+    assert result.msgs_per_s > 0
+    assert math.isclose(result.msgs_per_s, messages / duration, rel_tol=1e-9)
+    assert math.isclose(result.gbits_per_s, payload * 8 / duration / 1e9,
+                        rel_tol=1e-9)
+
+
+@_settings
+@given(baseline=st.floats(min_value=1e-6, max_value=1e6, allow_nan=False),
+       value=st.floats(min_value=1e-6, max_value=1e6, allow_nan=False))
+def test_overhead_factor_symmetry(baseline, value):
+    throughput_view = overhead_factor(baseline, value, higher_is_better=True)
+    rtt_view = overhead_factor(value, baseline, higher_is_better=False)
+    # The two conventions agree: both express "how much worse than baseline".
+    assert math.isclose(throughput_view, rtt_view, rel_tol=1e-9)
+    # Parity when the values are equal.
+    assert math.isclose(overhead_factor(baseline, baseline, higher_is_better=True),
+                        1.0, rel_tol=1e-9)

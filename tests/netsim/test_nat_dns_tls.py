@@ -1,0 +1,184 @@
+"""Unit tests for firewall/NAT/NodePort, DNS/route controller and TLS model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simkit import Environment
+from repro.netsim import (
+    DNSRegistry,
+    Endpoint,
+    Firewall,
+    NATGateway,
+    NodePortAllocator,
+    RouteController,
+)
+from repro.netsim.nat import NODEPORT_RANGE, _cidr_contains
+from repro.netsim.tls import DEFAULT_TLS, MUTUAL_TLS, NULL_TLS, TLSProfile
+
+
+# ---------------------------------------------------------------------------
+# Firewall / NAT / NodePorts
+# ---------------------------------------------------------------------------
+
+def test_firewall_default_deny_then_allow():
+    fw = Firewall("olcf")
+    assert not fw.permits("198.51.100.7", "dsn1", 30671)
+    fw.allow("198.51.100.0/24", "dsn1", 30671, description="AMQPS NodePort")
+    assert fw.permits("198.51.100.7", "dsn1", 30671)
+    assert not fw.permits("203.0.113.9", "dsn1", 30671)
+    assert fw.rule_count == 1
+
+
+def test_firewall_any_source():
+    fw = Firewall("olcf")
+    fw.allow("any", "lb", 443)
+    assert fw.permits("8.8.8.8", "lb", 443)
+    assert not fw.permits("8.8.8.8", "lb", 80)
+
+
+def test_cidr_matching_edge_cases():
+    assert _cidr_contains("0.0.0.0/0", "1.2.3.4")
+    assert _cidr_contains("10.1.1.100", "10.1.1.100")
+    assert not _cidr_contains("10.1.1.100", "10.1.1.101")
+    assert _cidr_contains("10.0.0.0/8", "10.255.0.1")
+    assert not _cidr_contains("10.0.0.0/8", "11.0.0.1")
+    assert not _cidr_contains("garbage/8", "10.0.0.1")
+
+
+def test_nat_gateway_mappings():
+    nat = NATGateway("border")
+    nat.add_mapping("198.51.100.1", 30672, "dsn1", 5672)
+    mapping = nat.translate("198.51.100.1", 30672)
+    assert mapping is not None
+    assert mapping.internal_host == "dsn1"
+    assert nat.translate("198.51.100.1", 9999) is None
+    with pytest.raises(ValueError):
+        nat.add_mapping("198.51.100.1", 30672, "dsn2", 5672)
+    assert nat.mapping_count == 1
+
+
+def test_nodeport_allocation_in_range():
+    alloc = NodePortAllocator()
+    port = alloc.allocate("rabbitmq-amqp")
+    assert NODEPORT_RANGE[0] <= port <= NODEPORT_RANGE[1]
+    assert alloc.owner(port) == "rabbitmq-amqp"
+
+
+def test_nodeport_preferred_and_conflicts():
+    alloc = NodePortAllocator()
+    assert alloc.allocate("amqp", preferred=30672) == 30672
+    with pytest.raises(ValueError):
+        alloc.allocate("other", preferred=30672)
+    with pytest.raises(ValueError):
+        alloc.allocate("other", preferred=100)
+    alloc.release(30672)
+    assert alloc.allocate("other", preferred=30672) == 30672
+
+
+def test_nodeport_exhaustion():
+    alloc = NodePortAllocator(port_range=(30000, 30001))
+    alloc.allocate("a")
+    alloc.allocate("b")
+    with pytest.raises(RuntimeError):
+        alloc.allocate("c")
+    assert len(alloc) == 2
+    assert alloc.allocated_ports("a") == [30000]
+
+
+def test_nodeport_invalid_range():
+    with pytest.raises(ValueError):
+        NodePortAllocator(port_range=(31000, 30000))
+
+
+# ---------------------------------------------------------------------------
+# DNS / RouteController
+# ---------------------------------------------------------------------------
+
+def test_dns_resolution_charges_latency_once():
+    env = Environment()
+    dns = DNSRegistry(env, lookup_latency_s=0.01)
+    dns.register("rmq.apps.olivine.ccs.ornl.gov", Endpoint("lb", 443, "amqps"))
+
+    def proc(env):
+        endpoint = yield from dns.resolve("rmq.apps.olivine.ccs.ornl.gov")
+        first_time = env.now
+        endpoint2 = yield from dns.resolve("rmq.apps.olivine.ccs.ornl.gov")
+        return endpoint, first_time, endpoint2, env.now
+
+    result = env.run(until=env.process(proc(env)))
+    endpoint, first_time, endpoint2, second_time = result
+    assert endpoint.host == "lb"
+    assert first_time == pytest.approx(0.01)
+    assert second_time == pytest.approx(0.01)  # cached, no extra latency
+    assert endpoint2 == endpoint
+    assert dns.lookups == 2
+
+
+def test_dns_unknown_name_raises():
+    env = Environment()
+    dns = DNSRegistry(env)
+
+    def proc(env):
+        yield from dns.resolve("missing.example")
+
+    env.process(proc(env))
+    with pytest.raises(KeyError):
+        env.run()
+    with pytest.raises(KeyError):
+        dns.resolve_now("missing.example")
+
+
+def test_dns_known_names_and_resolve_now():
+    env = Environment()
+    dns = DNSRegistry(env)
+    dns.register("a.example", Endpoint("n1", 443))
+    assert dns.known_names() == ["a.example"]
+    assert dns.resolve_now("a.example").port == 443
+
+
+def test_route_controller_round_robin():
+    rc = RouteController()
+    backends = [Endpoint("dsn1", 5672), Endpoint("dsn2", 5672), Endpoint("dsn3", 5672)]
+    rc.add_route("rmq.example", backends)
+    picks = [rc.select_backend("rmq.example").host for _ in range(6)]
+    assert picks == ["dsn1", "dsn2", "dsn3", "dsn1", "dsn2", "dsn3"]
+    assert rc.route_count() == 1
+
+
+def test_route_controller_requires_backends():
+    rc = RouteController()
+    with pytest.raises(ValueError):
+        rc.add_route("x", [])
+    with pytest.raises(KeyError):
+        rc.backends("missing")
+
+
+def test_endpoint_url():
+    endpoint = Endpoint("dsn1", 30671, "amqps")
+    assert endpoint.url == "amqps://dsn1:30671"
+
+
+# ---------------------------------------------------------------------------
+# TLS
+# ---------------------------------------------------------------------------
+
+def test_null_tls_is_free():
+    assert NULL_TLS.handshake_cost() == 0.0
+    assert NULL_TLS.message_cost(10**6) == 0.0
+
+
+def test_tls_message_cost_scales_with_size():
+    small = DEFAULT_TLS.message_cost(1024)
+    large = DEFAULT_TLS.message_cost(1024 ** 2)
+    assert large > small > 0.0
+
+
+def test_mutual_tls_handshake_costs_more():
+    assert MUTUAL_TLS.handshake_cost() > DEFAULT_TLS.handshake_cost()
+
+
+def test_custom_profile_disabled_flag():
+    profile = TLSProfile(name="off", enabled=False)
+    assert profile.handshake_cost() == 0.0
+    assert profile.message_cost(1e9) == 0.0

@@ -1,0 +1,80 @@
+"""Property-based tests of the network substrate (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim import Link, MessageFactory, Network
+from repro.netsim import units
+from repro.netsim.tls import DEFAULT_TLS, TLSProfile
+from repro.simkit import Environment
+
+_settings = settings(max_examples=40, deadline=None)
+
+
+@_settings
+@given(nbytes=st.floats(min_value=1, max_value=1e9, allow_nan=False),
+       bandwidth=st.floats(min_value=1e6, max_value=1e11, allow_nan=False))
+def test_transmission_time_scales_linearly(nbytes, bandwidth):
+    single = units.transmission_time(nbytes, bandwidth)
+    double = units.transmission_time(2 * nbytes, bandwidth)
+    faster = units.transmission_time(nbytes, 2 * bandwidth)
+    assert single > 0
+    assert double == np.float64(2 * nbytes) * 8 / bandwidth
+    assert abs(double - 2 * single) <= 1e-9 * max(1.0, double)
+    assert faster < single
+
+
+@_settings
+@given(sizes=st.lists(st.integers(min_value=100, max_value=10 ** 7),
+                      min_size=1, max_size=10))
+def test_link_serialization_conserves_messages_and_orders_fifo(sizes):
+    env = Environment()
+    link = Link(env, "l", bandwidth_bps=units.gbps(1), latency_s=0.0)
+    completions = []
+
+    def send(env, link, size, tag):
+        message = MessageFactory("p").create(size, now=env.now)
+        yield from link.traverse(message)
+        completions.append(tag)
+
+    for tag, size in enumerate(sizes):
+        env.process(send(env, link, size, tag))
+    env.run()
+    # All messages delivered, in submission (FIFO) order.
+    assert completions == list(range(len(sizes)))
+    assert link.monitor.counter("messages").value == len(sizes)
+    # Total busy time equals the sum of serialization delays.
+    expected_busy = sum(units.transmission_time(s + 512, units.gbps(1)) for s in sizes)
+    assert link.utilization() * env.now <= expected_busy + 1e-9
+
+
+@_settings
+@given(nbytes=st.floats(min_value=0, max_value=1e8, allow_nan=False),
+       per_byte=st.floats(min_value=0, max_value=1e-8, allow_nan=False),
+       per_message=st.floats(min_value=0, max_value=1e-3, allow_nan=False))
+def test_tls_cost_is_monotone_in_size(nbytes, per_byte, per_message):
+    profile = TLSProfile(name="t", per_byte_seconds=per_byte,
+                         per_message_seconds=per_message)
+    assert profile.message_cost(nbytes) >= per_message
+    assert profile.message_cost(nbytes * 2) >= profile.message_cost(nbytes)
+    disabled = TLSProfile(name="off", enabled=False,
+                          per_byte_seconds=per_byte,
+                          per_message_seconds=per_message)
+    assert disabled.message_cost(nbytes) == 0.0
+
+
+@_settings
+@given(chain_length=st.integers(min_value=2, max_value=8))
+def test_route_hop_count_matches_chain_length(chain_length):
+    env = Environment()
+    net = Network(env)
+    names = [f"n{i}" for i in range(chain_length)]
+    for name in names:
+        net.add_node(name)
+    for a, b in zip(names, names[1:]):
+        net.connect(a, b, bandwidth_bps=units.gbps(1))
+    route = net.route(names[0], names[-1])
+    assert route.hop_count == chain_length - 1
+    assert [n.name for n in route.nodes] == names

@@ -1,0 +1,111 @@
+"""Unit tests for unit conversions and the message model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.netsim import Message, MessageFactory
+from repro.netsim import units
+
+
+# ---------------------------------------------------------------------------
+# units
+# ---------------------------------------------------------------------------
+
+def test_binary_size_conversions():
+    assert units.kib(16) == 16 * 1024
+    assert units.mib(1) == 1024 ** 2
+    assert units.gib(2) == 2 * 1024 ** 3
+
+
+def test_rate_conversions():
+    assert units.gbps(1) == 1e9
+    assert units.mbps(100) == 1e8
+    assert units.kbps(5) == 5e3
+
+
+def test_transmission_time_16kib_at_1gbps():
+    # 16 KiB * 8 bits / 1e9 bps = 131.072 microseconds
+    t = units.transmission_time(units.kib(16), units.gbps(1))
+    assert t == pytest.approx(131.072e-6)
+
+
+def test_transmission_time_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        units.transmission_time(100, 0)
+    with pytest.raises(ValueError):
+        units.transmission_time(-1, 1e9)
+
+
+def test_bits_and_megabits():
+    assert units.bits(10) == 80
+    assert units.megabits(1e6 / 8) == pytest.approx(1.0)
+
+
+def test_pretty_size_and_rate():
+    assert units.pretty_size(units.kib(16)) == "16.0 KiB"
+    assert units.pretty_size(units.mib(4)) == "4.0 MiB"
+    assert units.pretty_size(12) == "12 B"
+    assert units.pretty_rate(units.gbps(1)) == "1.0 Gbps"
+    assert units.pretty_rate(500) == "500 bps"
+
+
+# ---------------------------------------------------------------------------
+# Message
+# ---------------------------------------------------------------------------
+
+def test_message_factory_unique_ids():
+    factory = MessageFactory("prod-0")
+    a = factory.create(1024, now=0.0)
+    b = factory.create(1024, now=0.0)
+    assert a.message_id != b.message_id
+    assert a.producer == "prod-0"
+
+
+def test_message_wire_bytes_includes_framing():
+    factory = MessageFactory(framing_bytes=100)
+    msg = factory.create(1000, now=0.0)
+    assert msg.wire_bytes == 1100
+
+
+def test_message_latency_requires_consumption():
+    factory = MessageFactory()
+    msg = factory.create(1024, now=1.0)
+    assert msg.latency is None
+    msg.consumed_at = 3.5
+    assert msg.latency == pytest.approx(2.5)
+
+
+def test_message_hop_recording_and_breakdown():
+    factory = MessageFactory()
+    msg = factory.create(1024, now=0.0)
+    msg.record_hop("linkA", "link", 0.0, 0.5)
+    msg.record_hop("broker1", "broker", 0.5, 0.7)
+    msg.record_hop("linkB", "link", 0.7, 1.0)
+    assert msg.hop_count() == 3
+    breakdown = msg.hop_breakdown()
+    assert breakdown["link"] == pytest.approx(0.8)
+    assert breakdown["broker"] == pytest.approx(0.2)
+
+
+def test_message_make_reply_links_correlation():
+    factory = MessageFactory("prod-3")
+    request = factory.create(2048, now=1.0, routing_key="work", reply_to="reply.prod-3")
+    request.headers["consumer"] = "cons-7"
+    reply = request.make_reply(128, now=5.0)
+    assert reply.correlation_id == request.message_id
+    assert reply.routing_key == "reply.prod-3"
+    assert reply.headers["request_id"] == request.message_id
+    assert reply.headers["request_created_at"] == 1.0
+    assert reply.created_at == 5.0
+    assert reply.producer == "cons-7"
+
+
+def test_message_headers_passed_through_factory():
+    factory = MessageFactory()
+    msg = factory.create(10, now=0.0, headers={"seq": 4}, routing_key="q1",
+                         event_count=8, payload_format="hdf5")
+    assert msg.headers["seq"] == 4
+    assert msg.event_count == 8
+    assert msg.payload_format == "hdf5"
+    assert msg.routing_key == "q1"

@@ -1,0 +1,156 @@
+"""Integration-style tests for the three messaging patterns.
+
+Each test runs a small end-to-end experiment through the harness on a tiny
+testbed and checks the pattern's semantic invariants (who gets what, reply
+routing, fan-out counts, RTT recording).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.architectures import TestbedConfig
+from repro.harness import Experiment, ExperimentConfig
+from repro.patterns import (
+    PATTERNS,
+    BroadcastGatherPattern,
+    BroadcastPattern,
+    WorkSharingFeedbackPattern,
+    WorkSharingPattern,
+    make_pattern,
+)
+
+
+def tiny_config(**overrides):
+    params = dict(
+        architecture="DTS",
+        workload="Dstream",
+        pattern="work_sharing",
+        num_producers=2,
+        num_consumers=2,
+        messages_per_producer=10,
+        max_sim_time_s=120.0,
+        testbed=TestbedConfig(producer_nodes=2, consumer_nodes=2),
+    )
+    params.update(overrides)
+    return ExperimentConfig(**params)
+
+
+# ---------------------------------------------------------------------------
+# Registry / expected counts
+# ---------------------------------------------------------------------------
+
+def test_pattern_registry_and_factory():
+    assert set(PATTERNS) == {"work_sharing", "work_sharing_feedback",
+                             "broadcast", "broadcast_gather"}
+    assert isinstance(make_pattern("work_sharing"), WorkSharingPattern)
+    assert isinstance(make_pattern("broadcast_gather"), BroadcastGatherPattern)
+    with pytest.raises(ValueError):
+        make_pattern("ring")
+
+
+def test_expected_counts_per_pattern():
+    config = tiny_config()
+    assert WorkSharingPattern().expected_consumed(config) == 20
+    assert WorkSharingPattern().expected_replies(config) == 0
+    assert WorkSharingFeedbackPattern().expected_consumed(config) == 20
+    assert WorkSharingFeedbackPattern().expected_replies(config) == 20
+    bcast_config = tiny_config(pattern="broadcast", num_producers=1)
+    assert BroadcastPattern().expected_consumed(bcast_config) == 10 * 2
+    assert BroadcastPattern().expected_replies(bcast_config) == 0
+    bg_config = tiny_config(pattern="broadcast_gather", num_producers=1)
+    assert BroadcastGatherPattern().expected_replies(bg_config) == 10 * 2
+
+
+# ---------------------------------------------------------------------------
+# Work sharing
+# ---------------------------------------------------------------------------
+
+def test_work_sharing_distributes_all_messages_once():
+    result = Experiment(tiny_config()).run_single(0)
+    assert result.completed
+    assert result.consumed == 20
+    assert result.published == 20
+    assert result.replies == 0
+    assert result.throughput_msgs_per_s > 0
+    coordinator = result.extra["coordinator"]
+    # Both consumers got a share of the work (round-robin work queues).
+    assert set(coordinator["consumers"]) == {"cons-0", "cons-1"}
+    assert sum(coordinator["consumers"].values()) == 20
+
+
+def test_work_sharing_uses_two_shared_queues_by_default():
+    config = tiny_config()
+    assert config.work_queue_count == 2
+    result = Experiment(config).run_single(0)
+    assert result.completed
+
+
+def test_work_sharing_single_queue_still_works():
+    result = Experiment(tiny_config(work_queue_count=1)).run_single(0)
+    assert result.completed
+    assert result.consumed == 20
+
+
+# ---------------------------------------------------------------------------
+# Work sharing with feedback
+# ---------------------------------------------------------------------------
+
+def test_feedback_replies_return_to_originating_producer():
+    config = tiny_config(pattern="work_sharing_feedback")
+    result = Experiment(config).run_single(0)
+    assert result.completed
+    assert result.consumed == 20
+    assert result.replies == 20
+    # Every producer received exactly its own replies.
+    replies_per_producer = result.extra["coordinator"]["producers_finished"]
+    assert replies_per_producer == ["prod-0", "prod-1"]
+    assert result.rtt is not None and result.rtt.count == 20
+    assert result.median_rtt_s > 0
+
+
+def test_feedback_rtt_larger_than_one_way_latency():
+    config = tiny_config(pattern="work_sharing_feedback")
+    result = Experiment(config).run_single(0)
+    assert result.latency is not None
+    # RTT must exceed the one-way producer->consumer latency on average.
+    assert result.rtt.summary.mean > result.latency.summary.mean * 0.5
+
+
+def test_feedback_respects_outstanding_window():
+    config = tiny_config(pattern="work_sharing_feedback", max_outstanding_requests=1,
+                         messages_per_producer=5)
+    result = Experiment(config).run_single(0)
+    assert result.completed
+    assert result.replies == 10
+
+
+# ---------------------------------------------------------------------------
+# Broadcast / broadcast and gather
+# ---------------------------------------------------------------------------
+
+def test_broadcast_delivers_every_message_to_every_consumer():
+    config = tiny_config(pattern="broadcast", num_producers=1, num_consumers=2,
+                         workload="Generic", messages_per_producer=4)
+    result = Experiment(config).run_single(0)
+    assert result.completed
+    assert result.published == 4
+    assert result.consumed == 8      # 4 messages x 2 consumers
+    counts = result.extra["coordinator"]["consumers"]
+    assert counts == {"cons-0": 4, "cons-1": 4}
+
+
+def test_broadcast_gather_collects_reply_per_consumer_per_message():
+    config = tiny_config(pattern="broadcast_gather", num_producers=1,
+                         num_consumers=2, workload="Generic",
+                         messages_per_producer=3)
+    result = Experiment(config).run_single(0)
+    assert result.completed
+    assert result.consumed == 6
+    assert result.replies == 6
+    assert result.rtt is not None and result.rtt.count == 6
+
+
+def test_broadcast_gather_single_producer_enforced():
+    with pytest.raises(ValueError):
+        tiny_config(pattern="broadcast_gather", num_producers=2)

@@ -1,0 +1,136 @@
+"""Unit tests for workload specs (Table 1) and the workload generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.netsim import units
+from repro.workloads import (
+    DELERIA_EVENT_BYTES,
+    DELERIA_EVENTS_PER_MESSAGE,
+    DSTREAM,
+    GENERIC,
+    LSTREAM,
+    WORKLOADS,
+    WorkloadGenerator,
+    WorkloadSpec,
+    get_workload,
+)
+
+
+# ---------------------------------------------------------------------------
+# Table 1 specs
+# ---------------------------------------------------------------------------
+
+def test_dstream_matches_table1():
+    assert DSTREAM.payload_bytes == units.kib(16)
+    assert DSTREAM.events_per_message == DELERIA_EVENTS_PER_MESSAGE == 8
+    assert DSTREAM.effective_event_bytes == DELERIA_EVENT_BYTES == units.kib(2)
+    assert DSTREAM.data_rate_bps == units.gbps(32)
+    assert DSTREAM.payload_format == "binary"
+    assert not DSTREAM.mpi_producers and not DSTREAM.mpi_consumers
+
+
+def test_lstream_matches_table1():
+    assert LSTREAM.payload_bytes == units.mib(1)
+    assert LSTREAM.payload_format == "hdf5"
+    assert LSTREAM.data_rate_bps == units.gbps(30)
+    assert LSTREAM.mpi_producers and LSTREAM.mpi_consumers
+    assert LSTREAM.events_per_message == 1
+
+
+def test_generic_matches_table1():
+    assert GENERIC.payload_bytes == units.mib(4)
+    assert GENERIC.payload_element == "variables"
+    assert GENERIC.data_rate_bps == units.gbps(25)
+    assert GENERIC.events_per_message == 1
+
+
+def test_registry_and_lookup():
+    assert set(WORKLOADS) == {"Dstream", "Lstream", "Generic"}
+    assert get_workload("dstream") is DSTREAM
+    assert get_workload("LSTREAM") is LSTREAM
+    with pytest.raises(KeyError):
+        get_workload("Xstream")
+
+
+def test_table_rows_have_paper_columns():
+    for spec in WORKLOADS.values():
+        row = spec.table_row()
+        for column in ["workload", "payload_size", "payload_format",
+                       "data_packaging", "data_rate",
+                       "production_parallelism", "consumption_parallelism"]:
+            assert column in row
+    assert DSTREAM.table_row()["data_packaging"] == "8 events/msg"
+    assert GENERIC.table_row()["data_packaging"] == "One item/msg"
+    assert LSTREAM.table_row()["payload_format"] == "HDF5"
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        WorkloadSpec(name="bad", payload_bytes=0)
+    with pytest.raises(ValueError):
+        WorkloadSpec(name="bad", payload_bytes=1, events_per_message=0)
+    with pytest.raises(ValueError):
+        WorkloadSpec(name="bad", payload_bytes=1, data_rate_bps=0)
+
+
+def test_rate_derivations():
+    # 16 KiB at 32 Gbps -> ~244K msgs/s aggregate.
+    rate = DSTREAM.messages_per_second_at_rate()
+    assert rate == pytest.approx(units.gbps(32) / units.bits(units.kib(16)))
+    interval = DSTREAM.producer_interval(num_producers=16)
+    assert interval == pytest.approx(16 / rate)
+    with pytest.raises(ValueError):
+        DSTREAM.producer_interval(0)
+
+
+def test_reply_bytes_defaults_to_payload():
+    assert DSTREAM.effective_reply_bytes == DSTREAM.payload_bytes
+    custom = WorkloadSpec(name="c", payload_bytes=100, reply_bytes=10)
+    assert custom.effective_reply_bytes == 10
+
+
+# ---------------------------------------------------------------------------
+# WorkloadGenerator
+# ---------------------------------------------------------------------------
+
+def test_generator_fixed_payload_by_default():
+    gen = WorkloadGenerator(DSTREAM, rng=np.random.default_rng(0))
+    blueprints = [gen.next_blueprint() for _ in range(5)]
+    assert all(bp.payload_bytes == units.kib(16) for bp in blueprints)
+    assert all(bp.event_count == 8 for bp in blueprints)
+    assert [bp.sequence for bp in blueprints] == [0, 1, 2, 3, 4]
+    assert gen.messages_generated == 5
+
+
+def test_generator_variable_events_only_for_variable_workloads():
+    gen = WorkloadGenerator(DSTREAM, rng=np.random.default_rng(1), vary_events=True)
+    counts = {gen.next_blueprint().event_count for _ in range(50)}
+    assert len(counts) > 1
+    assert all(4 <= c <= 16 for c in counts)
+    # The generic workload has fixed packaging, vary_events is ignored.
+    gen2 = WorkloadGenerator(GENERIC, rng=np.random.default_rng(1), vary_events=True)
+    assert gen2.next_blueprint().event_count == 1
+
+
+def test_generator_rate_limiting_interval():
+    free = WorkloadGenerator(DSTREAM, num_producers=4)
+    paced = WorkloadGenerator(DSTREAM, rate_limited=True, num_producers=4)
+    assert free.send_interval() == 0.0
+    assert paced.send_interval() == pytest.approx(DSTREAM.producer_interval(4))
+
+
+def test_generator_headers_carry_workload_name_and_sequence():
+    gen = WorkloadGenerator(LSTREAM)
+    bp = gen.next_blueprint()
+    assert bp.headers["workload"] == "Lstream"
+    assert bp.headers["sequence"] == 0
+    assert bp.payload_format == "hdf5"
+    assert not bp.is_control
+
+
+def test_generator_reply_payload_matches_spec():
+    gen = WorkloadGenerator(GENERIC)
+    assert gen.reply_payload_bytes() == GENERIC.effective_reply_bytes
