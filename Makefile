@@ -1,0 +1,22 @@
+# Developer entry points.  `make check` is what CI runs: the tier-1 test
+# suite plus a benchmarks smoke pass, so collection regressions (duplicate
+# basenames, broken bench imports) cannot land silently.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench-smoke bench check example
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks -q -k micro
+
+bench:
+	$(PYTHON) -m pytest benchmarks -q --benchmark-only
+
+check: test bench-smoke
+
+example:
+	$(PYTHON) examples/parallel_sweep.py

@@ -103,3 +103,39 @@ def test_bench_single_experiment_point(benchmark):
     result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
     assert result.completed
     assert result.consumed == 100
+
+
+def test_bench_scenario_runner_serial(benchmark):
+    """Overhead of the unified scenario runner (serial backend, 4 points)."""
+    from repro.harness import ScenarioSet, run_scenarios
+
+    def run():
+        base = ExperimentConfig(
+            architecture="DTS", workload="Dstream", pattern="work_sharing",
+            num_producers=2, num_consumers=2, messages_per_producer=10,
+            testbed=TestbedConfig(producer_nodes=4, consumer_nodes=4))
+        scenarios = ScenarioSet.grid(base, architectures=["DTS", "MSS"],
+                                     consumer_counts=[1, 2])
+        return run_scenarios(scenarios)
+
+    outcomes = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=0)
+    assert len(outcomes) == 4
+    assert all(outcome.result.feasible for outcome in outcomes)
+
+
+def test_bench_scenario_runner_process_pool(benchmark):
+    """The same 4 points fanned out over a 2-worker process pool."""
+    from repro.harness import ProcessPoolBackend, ScenarioSet, run_scenarios
+
+    def run():
+        base = ExperimentConfig(
+            architecture="DTS", workload="Dstream", pattern="work_sharing",
+            num_producers=2, num_consumers=2, messages_per_producer=10,
+            testbed=TestbedConfig(producer_nodes=4, consumer_nodes=4))
+        scenarios = ScenarioSet.grid(base, architectures=["DTS", "MSS"],
+                                     consumer_counts=[1, 2])
+        return run_scenarios(scenarios, backend=ProcessPoolBackend(2, chunksize=1))
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert len(outcomes) == 4
+    assert all(outcome.result.feasible for outcome in outcomes)

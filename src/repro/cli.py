@@ -6,11 +6,17 @@ Examples::
     repro-streamsim compare --workload Dstream --pattern work_sharing --consumers 4
     repro-streamsim experiment --architecture MSS --workload Lstream \
         --pattern work_sharing_feedback --consumers 8 --messages 50
-    repro-streamsim figure fig4 --messages 20 --consumers 1 2 4 8
+    repro-streamsim figure fig4 --messages 20 --consumers 1 2 4 8 --jobs 4
+    repro-streamsim sweep --workload Lstream --architectures DTS MSS \
+        --consumers 1 2 4 8 --jobs 4 --cache sweep.json
     repro-streamsim deployment
 
-Every subcommand prints an ASCII table; ``--csv PATH`` also writes the rows
-to a CSV file.
+Every experiment-running subcommand goes through the unified scenario
+runner: ``--jobs N`` fans the points out over a process pool (results are
+bit-identical to serial for the same seed) and ``--cache PATH`` caches
+per-point results to a JSON file that later invocations reuse.  Every
+subcommand prints an ASCII table; ``--csv PATH`` also writes the rows to a
+CSV file.
 """
 
 from __future__ import annotations
@@ -30,10 +36,26 @@ from .core import (
     table1_text,
 )
 from .core.study import PAPER_ARCHITECTURES
-from .harness import ExperimentConfig, run_experiment
+from .harness import (
+    PAPER_CONSUMER_COUNTS,
+    ConsumerSweep,
+    ExperimentConfig,
+    ResultCache,
+    run_experiment,
+)
 from .metrics import format_table, write_csv
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_runner_options(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="run scenario points on a process pool of N workers "
+             "(bit-identical to serial execution for the same seed)")
+    subparser.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="JSON result cache; already-computed points are reused")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,6 +71,8 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="print the architecture deployment comparison")
     deployment.add_argument("--architectures", nargs="+",
                             default=["DTS", "PRS(HAProxy)", "MSS"])
+    deployment.add_argument("--jobs", type=int, default=None, metavar="N",
+                            help="deploy architectures in parallel")
 
     compare = sub.add_parser("compare", help="compare architectures on one scenario")
     compare.add_argument("--workload", default="Dstream")
@@ -60,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--architectures", nargs="+",
                          default=list(PAPER_ARCHITECTURES))
     compare.add_argument("--csv", default=None)
+    _add_runner_options(compare)
 
     experiment = sub.add_parser("experiment", help="run a single experiment point")
     experiment.add_argument("--architecture", default="DTS")
@@ -80,6 +105,23 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--runs", type=int, default=1)
     figure.add_argument("--seed", type=int, default=1)
     figure.add_argument("--csv", default=None)
+    _add_runner_options(figure)
+
+    sweep = sub.add_parser(
+        "sweep", help="consumer-count sweep over several architectures")
+    sweep.add_argument("--workload", default="Dstream")
+    sweep.add_argument("--pattern", default="work_sharing")
+    sweep.add_argument("--architectures", nargs="+",
+                       default=list(PAPER_ARCHITECTURES))
+    sweep.add_argument("--consumers", type=int, nargs="+",
+                       default=list(PAPER_CONSUMER_COUNTS))
+    sweep.add_argument("--messages", type=int, default=20)
+    sweep.add_argument("--runs", type=int, default=1)
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--metric", default="throughput_msgs_per_s",
+                       help="result attribute reported per point")
+    sweep.add_argument("--csv", default=None)
+    _add_runner_options(sweep)
 
     return parser
 
@@ -91,13 +133,34 @@ def _emit(rows: list[dict], *, title: str, csv_path: Optional[str]) -> None:
         print(f"\n[wrote {len(rows)} rows to {csv_path}]")
 
 
+def _cache_from(args: argparse.Namespace) -> Optional[ResultCache]:
+    return ResultCache(args.cache) if getattr(args, "cache", None) else None
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     comparison = compare_architectures(
         workload=args.workload, pattern=args.pattern, consumers=args.consumers,
         architectures=args.architectures, messages_per_producer=args.messages,
-        runs=args.runs, seed=args.seed)
+        runs=args.runs, seed=args.seed, jobs=args.jobs, cache=_cache_from(args))
     _emit(comparison.rows(),
           title=f"{args.workload} / {args.pattern} @ {args.consumers} consumers",
+          csv_path=args.csv)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    producers = 1 if args.pattern.startswith("broadcast") else args.consumers[0]
+    base = ExperimentConfig(
+        workload=args.workload, pattern=args.pattern,
+        num_producers=producers, num_consumers=args.consumers[0],
+        messages_per_producer=args.messages, runs=args.runs, seed=args.seed)
+    sweep = ConsumerSweep(
+        base, architectures=args.architectures, consumer_counts=args.consumers,
+        equal_producers=not args.pattern.startswith("broadcast"))
+    result = sweep.run(jobs=args.jobs, cache=_cache_from(args))
+    _emit(result.rows(args.metric),
+          title=f"{args.workload} / {args.pattern} sweep "
+                f"({', '.join(args.architectures)})",
           csv_path=args.csv)
     return 0
 
@@ -118,7 +181,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_figure(args: argparse.Namespace) -> int:
     kwargs = dict(consumer_counts=args.consumers, runs=args.runs, seed=args.seed,
-                  messages_per_producer=args.messages)
+                  messages_per_producer=args.messages, jobs=args.jobs,
+                  cache=_cache_from(args))
     generators = {"fig4": figure4, "fig5": figure5, "fig6": figure6,
                   "fig7": figure7, "fig8": figure8}
     data = generators[args.name](**kwargs)
@@ -132,7 +196,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(table1_text())
         return 0
     if args.command == "deployment":
-        reports = deployment_comparison(args.architectures)
+        reports = deployment_comparison(args.architectures, jobs=args.jobs)
         print(format_table([r.as_row() for r in reports.values()],
                            title="Architecture deployment comparison"))
         return 0
@@ -142,6 +206,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "figure":
         return _cmd_figure(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     return 1
 
 

@@ -21,7 +21,7 @@ Figure index
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -29,12 +29,17 @@ from ..architectures import TestbedConfig
 from ..harness import (
     PAPER_CONSUMER_COUNTS,
     ConsumerSweep,
-    Experiment,
+    ExecutionBackend,
     ExperimentConfig,
+    ScenarioSet,
     SweepResult,
+    run_scenarios,
 )
 from ..metrics import empirical_cdf, overhead_table
 from .study import BASELINE_ARCHITECTURE, PAPER_ARCHITECTURES
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..harness import ResultCache
 
 __all__ = [
     "FigureData",
@@ -103,13 +108,51 @@ def _base_config(workload: str, pattern: str, *, messages_per_producer: int,
 def _sweep(workload: str, pattern: str, architectures: Sequence[str],
            consumer_counts: Iterable[int], *, messages_per_producer: int,
            runs: int, seed: int, testbed: Optional[TestbedConfig],
-           equal_producers: bool = True, **overrides) -> SweepResult:
+           equal_producers: bool = True,
+           jobs: Optional[int] = None,
+           backend: Optional[ExecutionBackend] = None,
+           cache: Optional["ResultCache"] = None, **overrides) -> SweepResult:
     base = _base_config(workload, pattern, messages_per_producer=messages_per_producer,
                         runs=runs, seed=seed, testbed=testbed, **overrides)
     sweep = ConsumerSweep(base, architectures=architectures,
                           consumer_counts=consumer_counts,
                           equal_producers=equal_producers)
-    return sweep.run()
+    return sweep.run(jobs=jobs, backend=backend, cache=cache)
+
+
+def _sweep_grid(workloads: Sequence[str], patterns: Sequence[str],
+                architectures: Sequence[str], consumer_counts: Iterable[int],
+                *, messages_per_producer: int, runs: int, seed: int,
+                testbed: Optional[TestbedConfig], equal_producers: bool = True,
+                jobs: Optional[int] = None,
+                backend: Optional[ExecutionBackend] = None,
+                cache: Optional["ResultCache"] = None,
+                **overrides) -> dict[tuple[str, str], SweepResult]:
+    """Sweeps for every (workload, pattern) cell, executed as ONE scenario
+    grid so a process pool parallelizes across all of a figure's points, not
+    just within one sweep."""
+    consumer_counts = tuple(consumer_counts)
+    base = _base_config(workloads[0], patterns[0],
+                        messages_per_producer=messages_per_producer,
+                        runs=runs, seed=seed, testbed=testbed, **overrides)
+    scenarios = ScenarioSet.grid(base, architectures=list(architectures),
+                                 workloads=list(workloads),
+                                 patterns=list(patterns),
+                                 consumer_counts=consumer_counts,
+                                 equal_producers=equal_producers)
+    sweeps: dict[tuple[str, str], SweepResult] = {}
+    for workload in workloads:
+        for pattern in patterns:
+            sweeps[(workload, pattern)] = SweepResult(
+                workload=workload, pattern=pattern,
+                consumer_counts=consumer_counts)
+    for outcome in run_scenarios(scenarios, jobs=jobs, backend=backend,
+                                 cache=cache):
+        axes = outcome.point.axes
+        sweep = sweeps[(axes["workload"], axes["pattern"])]
+        sweep.results.setdefault(outcome.point.label, {})
+        sweep.results[outcome.point.label][axes["consumers"]] = outcome.result
+    return sweeps
 
 
 def _collect_cdfs(sweep: SweepResult, consumer_counts: Iterable[int],
@@ -138,16 +181,22 @@ def figure4(*, workloads: Sequence[str] = ("Dstream", "Lstream"),
             consumer_counts: Iterable[int] = PAPER_CONSUMER_COUNTS,
             messages_per_producer: int = 20,
             runs: int = 1, seed: int = 1,
-            testbed: Optional[TestbedConfig] = None) -> FigureData:
+            testbed: Optional[TestbedConfig] = None,
+            jobs: Optional[int] = None,
+            backend: Optional[ExecutionBackend] = None,
+            cache: Optional["ResultCache"] = None) -> FigureData:
     """Throughput (msgs/s) under the work sharing pattern (Figure 4)."""
     data = FigureData(
         figure="figure4",
         description="Aggregate consumer throughput vs consumer count, "
                     "work sharing pattern (Dstream and Lstream)")
+    sweeps = _sweep_grid(list(workloads), ["work_sharing"], architectures,
+                         consumer_counts,
+                         messages_per_producer=messages_per_producer, runs=runs,
+                         seed=seed, testbed=testbed, jobs=jobs, backend=backend,
+                         cache=cache)
     for workload in workloads:
-        sweep = _sweep(workload, "work_sharing", architectures, consumer_counts,
-                       messages_per_producer=messages_per_producer, runs=runs,
-                       seed=seed, testbed=testbed)
+        sweep = sweeps[(workload, "work_sharing")]
         data.sweeps[workload] = sweep
         data.rows.extend(sweep.rows("throughput_msgs_per_s"))
     return data
@@ -162,17 +211,22 @@ def figure6(*, workloads: Sequence[str] = ("Dstream", "Lstream"),
             consumer_counts: Iterable[int] = PAPER_CONSUMER_COUNTS,
             messages_per_producer: int = 15,
             runs: int = 1, seed: int = 1,
-            testbed: Optional[TestbedConfig] = None) -> FigureData:
+            testbed: Optional[TestbedConfig] = None,
+            jobs: Optional[int] = None,
+            backend: Optional[ExecutionBackend] = None,
+            cache: Optional["ResultCache"] = None) -> FigureData:
     """Median RTT under work sharing with feedback (Figure 6)."""
     data = FigureData(
         figure="figure6",
         description="Median per-message RTT vs consumer count, "
                     "work sharing with feedback (Dstream and Lstream)")
+    sweeps = _sweep_grid(list(workloads), ["work_sharing_feedback"],
+                         architectures, consumer_counts,
+                         messages_per_producer=messages_per_producer, runs=runs,
+                         seed=seed, testbed=testbed, jobs=jobs, backend=backend,
+                         cache=cache)
     for workload in workloads:
-        sweep = _sweep(workload, "work_sharing_feedback", architectures,
-                       consumer_counts,
-                       messages_per_producer=messages_per_producer, runs=runs,
-                       seed=seed, testbed=testbed)
+        sweep = sweeps[(workload, "work_sharing_feedback")]
         data.sweeps[workload] = sweep
         data.rows.extend(sweep.rows("median_rtt_s"))
     return data
@@ -183,13 +237,17 @@ def figure5(*, workloads: Sequence[str] = ("Dstream", "Lstream"),
             consumer_counts: Iterable[int] = PAPER_CONSUMER_COUNTS,
             messages_per_producer: int = 15,
             runs: int = 1, seed: int = 1, cdf_points: int = 100,
-            testbed: Optional[TestbedConfig] = None) -> FigureData:
+            testbed: Optional[TestbedConfig] = None,
+            jobs: Optional[int] = None,
+            backend: Optional[ExecutionBackend] = None,
+            cache: Optional["ResultCache"] = None) -> FigureData:
     """CDFs of per-message RTT under work sharing with feedback (Figure 5)."""
     consumer_counts = tuple(consumer_counts)
     data = figure6(workloads=workloads, architectures=architectures,
                    consumer_counts=consumer_counts,
                    messages_per_producer=messages_per_producer, runs=runs,
-                   seed=seed, testbed=testbed)
+                   seed=seed, testbed=testbed, jobs=jobs, backend=backend,
+                   cache=cache)
     data.figure = "figure5"
     data.description = ("CDF of individual message RTTs, work sharing with "
                         "feedback (Dstream and Lstream), 1-64 consumers")
@@ -206,18 +264,22 @@ def figure7(*, architectures: Sequence[str] = BROADCAST_ARCHITECTURES,
             consumer_counts: Iterable[int] = PAPER_CONSUMER_COUNTS,
             messages_per_producer: int = 6,
             runs: int = 1, seed: int = 1,
-            testbed: Optional[TestbedConfig] = None) -> FigureData:
+            testbed: Optional[TestbedConfig] = None,
+            jobs: Optional[int] = None,
+            backend: Optional[ExecutionBackend] = None,
+            cache: Optional["ResultCache"] = None) -> FigureData:
     """Broadcast throughput and broadcast+gather median RTT (Figure 7)."""
     data = FigureData(
         figure="figure7",
         description="(a) broadcast throughput and (b) broadcast+gather median "
                     "RTT for the generic workload")
-    broadcast = _sweep("Generic", "broadcast", architectures, consumer_counts,
-                       messages_per_producer=messages_per_producer, runs=runs,
-                       seed=seed, testbed=testbed, equal_producers=False)
-    gather = _sweep("Generic", "broadcast_gather", architectures, consumer_counts,
-                    messages_per_producer=messages_per_producer, runs=runs,
-                    seed=seed, testbed=testbed, equal_producers=False)
+    sweeps = _sweep_grid(["Generic"], ["broadcast", "broadcast_gather"],
+                         architectures, consumer_counts,
+                         messages_per_producer=messages_per_producer, runs=runs,
+                         seed=seed, testbed=testbed, equal_producers=False,
+                         jobs=jobs, backend=backend, cache=cache)
+    broadcast = sweeps[("Generic", "broadcast")]
+    gather = sweeps[("Generic", "broadcast_gather")]
     data.sweeps["broadcast"] = broadcast
     data.sweeps["broadcast_gather"] = gather
     for row in broadcast.rows("throughput_msgs_per_s"):
@@ -233,7 +295,10 @@ def figure8(*, architectures: Sequence[str] = BROADCAST_ARCHITECTURES,
             consumer_counts: Iterable[int] = PAPER_CONSUMER_COUNTS,
             messages_per_producer: int = 6,
             runs: int = 1, seed: int = 1, cdf_points: int = 100,
-            testbed: Optional[TestbedConfig] = None) -> FigureData:
+            testbed: Optional[TestbedConfig] = None,
+            jobs: Optional[int] = None,
+            backend: Optional[ExecutionBackend] = None,
+            cache: Optional["ResultCache"] = None) -> FigureData:
     """CDFs of per-message RTT under broadcast and gather (Figure 8)."""
     consumer_counts = tuple(consumer_counts)
     data = FigureData(
@@ -242,7 +307,8 @@ def figure8(*, architectures: Sequence[str] = BROADCAST_ARCHITECTURES,
                     "(generic workload), 1-64 consumers")
     sweep = _sweep("Generic", "broadcast_gather", architectures, consumer_counts,
                    messages_per_producer=messages_per_producer, runs=runs,
-                   seed=seed, testbed=testbed, equal_producers=False)
+                   seed=seed, testbed=testbed, equal_producers=False,
+                   jobs=jobs, backend=backend, cache=cache)
     data.sweeps["Generic"] = sweep
     data.cdfs["Generic"] = _collect_cdfs(sweep, consumer_counts, cdf_points)
     data.rows.extend(sweep.rows("median_rtt_s"))
@@ -299,41 +365,45 @@ def overhead_summary(figure4_data: FigureData, figure6_data: FigureData,
 def ablation_tunnel_type(*, workload: str = "Dstream",
                          consumer_counts: Iterable[int] = (1, 4, 16),
                          messages_per_producer: int = 15, seed: int = 1,
-                         testbed: Optional[TestbedConfig] = None) -> SweepResult:
+                         testbed: Optional[TestbedConfig] = None,
+                         jobs: Optional[int] = None) -> SweepResult:
     """PRS tunnel choice: Stunnel vs HAProxy vs Nginx."""
     return _sweep(workload, "work_sharing",
                   ["PRS(Stunnel)", "PRS(HAProxy)", "PRS(Nginx)"],
                   consumer_counts, messages_per_producer=messages_per_producer,
-                  runs=1, seed=seed, testbed=testbed)
+                  runs=1, seed=seed, testbed=testbed, jobs=jobs)
 
 
 def ablation_proxy_connections(*, workload: str = "Dstream",
                                consumer_counts: Iterable[int] = (1, 4, 16),
                                messages_per_producer: int = 15, seed: int = 1,
-                               testbed: Optional[TestbedConfig] = None) -> SweepResult:
+                               testbed: Optional[TestbedConfig] = None,
+                               jobs: Optional[int] = None) -> SweepResult:
     """Number of parallel connections to the PRS proxies (1 vs 4)."""
     return _sweep(workload, "work_sharing",
                   ["PRS(HAProxy)", "PRS(HAProxy,4conns)"],
                   consumer_counts, messages_per_producer=messages_per_producer,
-                  runs=1, seed=seed, testbed=testbed)
+                  runs=1, seed=seed, testbed=testbed, jobs=jobs)
 
 
 def ablation_mss_lb_bypass(*, workload: str = "Dstream",
                            consumer_counts: Iterable[int] = (4, 16, 64),
                            messages_per_producer: int = 15, seed: int = 1,
-                           testbed: Optional[TestbedConfig] = None) -> SweepResult:
+                           testbed: Optional[TestbedConfig] = None,
+                           jobs: Optional[int] = None) -> SweepResult:
     """§6 improvement: internal consumers bypass the MSS load balancer."""
     return _sweep(workload, "work_sharing", ["MSS", "MSS(bypass)"],
                   consumer_counts, messages_per_producer=messages_per_producer,
-                  runs=1, seed=seed, testbed=testbed)
+                  runs=1, seed=seed, testbed=testbed, jobs=jobs)
 
 
 def ablation_link_speed(*, workload: str = "Lstream",
                         consumers: int = 16,
                         messages_per_producer: int = 10, seed: int = 1,
-                        speeds_gbps: Sequence[float] = (1, 10, 100)) -> list[dict]:
+                        speeds_gbps: Sequence[float] = (1, 10, 100),
+                        jobs: Optional[int] = None) -> list[dict]:
     """§6: what the 100 Gbps interfaces would buy each architecture."""
-    rows = []
+    scenarios = ScenarioSet()
     for speed in speeds_gbps:
         testbed = TestbedConfig(
             link_bandwidth_bps=speed * 1e9,
@@ -346,39 +416,44 @@ def ablation_link_speed(*, workload: str = "Lstream",
                 num_producers=consumers, num_consumers=consumers,
                 messages_per_producer=messages_per_producer, seed=seed,
                 testbed=testbed)
-            result = Experiment(config).run()
-            rows.append({"link_gbps": speed, "architecture": label,
-                         "consumers": consumers,
-                         "throughput_msgs_per_s": result.throughput_msgs_per_s})
-    return rows
+            scenarios.add_config(config, label=label, link_gbps=speed)
+    return [{"link_gbps": outcome.point.axes["link_gbps"],
+             "architecture": outcome.point.label,
+             "consumers": consumers,
+             "throughput_msgs_per_s": outcome.result.throughput_msgs_per_s}
+            for outcome in run_scenarios(scenarios, jobs=jobs)]
 
 
 def ablation_work_queue_count(*, workload: str = "Dstream",
                               consumers: int = 8,
                               queue_counts: Sequence[int] = (1, 2, 4),
                               messages_per_producer: int = 20,
-                              seed: int = 1) -> list[dict]:
+                              seed: int = 1,
+                              jobs: Optional[int] = None) -> list[dict]:
     """§5.2: the two-shared-work-queues choice vs one or four queues."""
-    rows = []
+    scenarios = ScenarioSet()
     for queue_count in queue_counts:
         config = ExperimentConfig(
             architecture="DTS", workload=workload, pattern="work_sharing",
             num_producers=consumers, num_consumers=consumers,
             messages_per_producer=messages_per_producer,
             work_queue_count=queue_count, seed=seed)
-        result = Experiment(config).run()
-        rows.append({"work_queues": queue_count, "consumers": consumers,
-                     "throughput_msgs_per_s": result.throughput_msgs_per_s})
-    return rows
+        scenarios.add_config(config, label=f"queues={queue_count}",
+                             work_queues=queue_count)
+    return [{"work_queues": outcome.point.axes["work_queues"],
+             "consumers": consumers,
+             "throughput_msgs_per_s": outcome.result.throughput_msgs_per_s}
+            for outcome in run_scenarios(scenarios, jobs=jobs)]
 
 
 def ablation_network_layer_forwarding(*, workload: str = "Dstream",
                                       consumer_counts: Iterable[int] = (1, 4, 16),
                                       messages_per_producer: int = 15,
                                       seed: int = 1,
-                                      testbed: Optional[TestbedConfig] = None
+                                      testbed: Optional[TestbedConfig] = None,
+                                      jobs: Optional[int] = None
                                       ) -> SweepResult:
     """§6 future work: network-layer forwarding (EJFAT-style) vs DTS/PRS."""
     return _sweep(workload, "work_sharing", ["DTS", "NLF", "PRS(HAProxy)"],
                   consumer_counts, messages_per_producer=messages_per_producer,
-                  runs=1, seed=seed, testbed=testbed)
+                  runs=1, seed=seed, testbed=testbed, jobs=jobs)

@@ -11,18 +11,20 @@ feasibility comparison of §2/§6 from actually-deployed architectures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
-from ..architectures import (
-    ARCHITECTURES,
-    DeploymentReport,
-    Testbed,
-    TestbedConfig,
-    make_architecture,
+from ..architectures import DeploymentReport, TestbedConfig
+from ..harness import (
+    ExecutionBackend,
+    ExperimentConfig,
+    ExperimentResult,
+    ScenarioSet,
+    run_scenarios,
 )
-from ..harness import Experiment, ExperimentConfig, ExperimentResult
 from ..metrics import OverheadResult, overhead_table
-from ..simkit import Environment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..harness import ResultCache
 
 __all__ = ["ComparisonResult", "compare_architectures", "deployment_comparison",
            "PAPER_ARCHITECTURES", "BASELINE_ARCHITECTURE"]
@@ -82,11 +84,16 @@ def compare_architectures(*, workload: str = "Dstream",
                           seed: int = 1,
                           baseline: str = BASELINE_ARCHITECTURE,
                           testbed: Optional[TestbedConfig] = None,
+                          jobs: Optional[int] = None,
+                          backend: Optional[ExecutionBackend] = None,
+                          cache: Optional["ResultCache"] = None,
                           **config_overrides) -> ComparisonResult:
     """Run the same scenario through several architectures and compare.
 
     Returns a :class:`ComparisonResult` whose ``results`` map architecture
     labels to averaged :class:`~repro.harness.results.ExperimentResult`.
+    ``jobs > 1`` runs the architectures in parallel through the unified
+    scenario runner; results are identical to serial execution.
     """
     if pattern in ("broadcast", "broadcast_gather"):
         producer_count = 1
@@ -105,26 +112,30 @@ def compare_architectures(*, workload: str = "Dstream",
         **config_overrides,
     )
     comparison = ComparisonResult(config=config, baseline=baseline)
-    for label in architectures:
-        comparison.results[label] = Experiment(config.with_architecture(label)).run()
+    # equal_producers=False: the producer count is already fixed above (it
+    # may legitimately differ from the consumer count).
+    scenarios = ScenarioSet.grid(config, architectures=list(architectures),
+                                 equal_producers=False)
+    for outcome in run_scenarios(scenarios, jobs=jobs, backend=backend,
+                                 cache=cache):
+        comparison.results[outcome.point.label] = outcome.result
     return comparison
 
 
 def deployment_comparison(architectures: Iterable[str] = PAPER_ARCHITECTURES, *,
-                          testbed_config: Optional[TestbedConfig] = None
+                          testbed_config: Optional[TestbedConfig] = None,
+                          jobs: Optional[int] = None,
+                          backend: Optional[ExecutionBackend] = None
                           ) -> dict[str, DeploymentReport]:
     """Deploy each architecture (control plane only) and report feasibility.
 
     This regenerates the qualitative §2/§6 comparison — hop counts, firewall
     rules, exposed ports, administrative and user steps — from real deployed
-    objects rather than prose.
+    objects rather than prose.  Each architecture deploys on its own testbed
+    with a distinct derived seed so the placements are independent.
     """
-    reports: dict[str, DeploymentReport] = {}
     config = testbed_config or TestbedConfig(producer_nodes=2, consumer_nodes=2)
-    for label in dict.fromkeys(architectures):
-        env = Environment()
-        testbed = Testbed(env, replace(config, seed=config.seed))
-        architecture = make_architecture(label, testbed)
-        env.run(until=env.process(architecture.deploy()))
-        reports[label] = architecture.deployment_report()
-    return reports
+    base = ExperimentConfig(testbed=config, seed=config.seed)
+    scenarios = ScenarioSet.deployments(list(architectures), base)
+    return {outcome.point.label: outcome.result
+            for outcome in run_scenarios(scenarios, jobs=jobs, backend=backend)}

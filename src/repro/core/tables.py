@@ -73,16 +73,24 @@ def table1_text() -> str:
 
 def architecture_comparison_rows(
         architectures: Sequence[str] = ("DTS", "PRS(HAProxy)", "MSS"), *,
-        testbed_config: Optional[TestbedConfig] = None) -> list[dict]:
-    """Qualitative architecture comparison derived from real deployments."""
-    reports = deployment_comparison(architectures, testbed_config=testbed_config)
+        testbed_config: Optional[TestbedConfig] = None,
+        jobs: Optional[int] = None) -> list[dict]:
+    """Qualitative architecture comparison derived from real deployments.
+
+    The deployments run through the unified scenario runner, so ``jobs > 1``
+    deploys the architectures in parallel.
+    """
+    reports = deployment_comparison(architectures, testbed_config=testbed_config,
+                                    jobs=jobs)
     return [report.as_row() for report in reports.values()]
 
 
 def architecture_comparison_text(
         architectures: Sequence[str] = ("DTS", "PRS(HAProxy)", "MSS"), *,
-        testbed_config: Optional[TestbedConfig] = None) -> str:
+        testbed_config: Optional[TestbedConfig] = None,
+        jobs: Optional[int] = None) -> str:
     rows = architecture_comparison_rows(architectures,
-                                        testbed_config=testbed_config)
+                                        testbed_config=testbed_config,
+                                        jobs=jobs)
     return format_table(rows, title="Architecture deployment comparison "
                                     "(derived from deployed objects)")

@@ -1,10 +1,28 @@
 """StreamSim-equivalent experiment harness: configs, coordinator, runner,
-sweeps and result containers."""
+sweeps and result containers.
 
+Everything that "runs many experiment points" — consumer sweeps,
+architecture comparisons, figure regeneration, the CLI — goes through the
+unified scenario runner in :mod:`repro.harness.runner`; pass ``jobs=N`` to
+any of them to fan the points out over a process pool.
+"""
+
+from .cache import ResultCache
 from .config import PATTERN_NAMES, ExperimentConfig
 from .coordinator import Coordinator
 from .experiment import Experiment, run_experiment
 from .results import ExperimentResult, RunResult
+from .runner import (
+    ExecutionBackend,
+    PointOutcome,
+    ProcessPoolBackend,
+    ScenarioError,
+    ScenarioPoint,
+    ScenarioSet,
+    SerialBackend,
+    resolve_backend,
+    run_scenarios,
+)
 from .sweep import PAPER_CONSUMER_COUNTS, ConsumerSweep, SweepResult
 
 __all__ = [
@@ -18,4 +36,14 @@ __all__ = [
     "ConsumerSweep",
     "SweepResult",
     "PAPER_CONSUMER_COUNTS",
+    "ScenarioPoint",
+    "ScenarioSet",
+    "PointOutcome",
+    "ScenarioError",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "resolve_backend",
+    "run_scenarios",
+    "ResultCache",
 ]

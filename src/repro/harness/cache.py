@@ -1,0 +1,72 @@
+"""On-disk result cache for the scenario runner.
+
+Format: one JSON file, ``{"version": 1, "entries": {<key>: <entry>}}``,
+where ``<key>`` is :meth:`ScenarioPoint.cache_key` (a content hash of the
+point's config and kind) and ``<entry>`` holds the point description plus
+the :meth:`~repro.harness.results.ExperimentResult.to_json_dict` payload.
+Figure regeneration passes the same cache file back in and every
+already-computed point is loaded instead of re-simulated, so e.g.
+``repro-streamsim figure fig5 --cache fig.json`` after ``fig6 --cache
+fig.json`` only runs the points fig6 did not cover.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from .results import ExperimentResult
+from .runner import ScenarioPoint
+
+__all__ = ["ResultCache", "CACHE_VERSION"]
+
+CACHE_VERSION = 1
+
+
+class ResultCache:
+    """A dict of experiment results keyed by scenario content hash."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._entries: dict[str, dict] = {}
+        self._dirty = False
+        if os.path.exists(path):
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+            if payload.get("version") != CACHE_VERSION:
+                raise ValueError(
+                    f"result cache {path!r} has version "
+                    f"{payload.get('version')!r}; expected {CACHE_VERSION}")
+            self._entries = dict(payload.get("entries", {}))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, point: ScenarioPoint) -> bool:
+        return point.cache_key() in self._entries
+
+    def load(self, point: ScenarioPoint) -> Optional[ExperimentResult]:
+        """The cached result for ``point``, or ``None`` on a miss."""
+        entry = self._entries.get(point.cache_key())
+        if entry is None:
+            return None
+        return ExperimentResult.from_json_dict(entry["result"])
+
+    def store(self, point: ScenarioPoint, result: ExperimentResult) -> None:
+        self._entries[point.cache_key()] = {
+            "point": point.describe(),
+            "result": result.to_json_dict(),
+        }
+        self._dirty = True
+
+    def save(self) -> None:
+        """Write the cache back to disk (atomically) if anything changed."""
+        if not self._dirty:
+            return
+        payload = {"version": CACHE_VERSION, "entries": self._entries}
+        tmp_path = f"{self.path}.tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(tmp_path, self.path)
+        self._dirty = False

@@ -12,9 +12,10 @@ seconds — pass ``messages_per_producer`` explicitly to scale up.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 from typing import Optional
 
+from ..amqp import AckPolicy
 from ..architectures import ARCHITECTURES, TestbedConfig
 from ..workloads import WORKLOADS
 
@@ -100,6 +101,21 @@ class ExperimentConfig:
 
     def run_seed(self, run_index: int) -> int:
         return self.seed * 1000 + run_index
+
+    # -- serialization -----------------------------------------------------------
+    def to_json_dict(self) -> dict:
+        """Plain-JSON representation; inverse of :meth:`from_json_dict`."""
+        payload = asdict(self)
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "ExperimentConfig":
+        payload = dict(payload)
+        testbed = dict(payload.get("testbed") or {})
+        if "ack_policy" in testbed:
+            testbed["ack_policy"] = AckPolicy(**testbed["ack_policy"])
+        payload["testbed"] = TestbedConfig(**testbed)
+        return cls(**payload)
 
     def describe(self) -> dict:
         return {

@@ -1,4 +1,13 @@
-"""Result containers for single runs and averaged experiments."""
+"""Result containers for single runs and averaged experiments.
+
+Both containers round-trip through pickle (they are plain dataclasses) and
+through JSON via ``to_json_dict`` / ``from_json_dict`` so sweep results can
+be cached to disk and reused by figure regeneration (see
+:mod:`repro.harness.cache`).  RTT/latency distributions are serialized as
+their raw samples and rebuilt with :func:`~repro.metrics.compute_rtt`, which
+is deterministic, so a JSON round-trip reproduces the original summaries
+bit-for-bit.
+"""
 
 from __future__ import annotations
 
@@ -60,6 +69,62 @@ class RunResult:
             "duration_s": self.duration_s,
             "completed": self.completed,
         }
+
+    # -- serialization -----------------------------------------------------------
+    def to_json_dict(self) -> dict:
+        """Plain-JSON representation; inverse of :meth:`from_json_dict`."""
+        return {
+            "architecture": self.architecture,
+            "workload": self.workload,
+            "pattern": self.pattern,
+            "num_producers": self.num_producers,
+            "num_consumers": self.num_consumers,
+            "feasible": self.feasible,
+            "infeasible_reason": self.infeasible_reason,
+            "published": self.published,
+            "consumed": self.consumed,
+            "replies": self.replies,
+            "failed_publishes": self.failed_publishes,
+            "duration_s": self.duration_s,
+            "sim_time_s": self.sim_time_s,
+            "completed": self.completed,
+            "throughput": self.throughput.as_dict() if self.throughput else None,
+            "rtt_samples": (self.rtt.samples.tolist()
+                            if self.rtt is not None else None),
+            "latency_samples": (self.latency.samples.tolist()
+                                if self.latency is not None else None),
+            "consumer_balance": self.consumer_balance,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "RunResult":
+        throughput = payload.get("throughput")
+        rtt_samples = payload.get("rtt_samples")
+        latency_samples = payload.get("latency_samples")
+        return cls(
+            architecture=payload["architecture"],
+            workload=payload["workload"],
+            pattern=payload["pattern"],
+            num_producers=payload["num_producers"],
+            num_consumers=payload["num_consumers"],
+            feasible=payload["feasible"],
+            infeasible_reason=payload.get("infeasible_reason", ""),
+            published=payload.get("published", 0),
+            consumed=payload.get("consumed", 0),
+            replies=payload.get("replies", 0),
+            failed_publishes=payload.get("failed_publishes", 0),
+            duration_s=payload.get("duration_s", 0.0),
+            sim_time_s=payload.get("sim_time_s", 0.0),
+            completed=payload.get("completed", True),
+            throughput=(ThroughputResult(**throughput)
+                        if throughput is not None else None),
+            rtt=(compute_rtt(rtt_samples) if rtt_samples is not None else None),
+            latency=(compute_rtt(latency_samples)
+                     if latency_samples is not None else None),
+            consumer_balance=payload.get("consumer_balance", float("nan")),
+            extra=payload.get("extra", {}),
+        )
 
 
 @dataclass
@@ -141,3 +206,26 @@ class ExperimentResult:
             "median_rtt_s": self.median_rtt_s,
             "runs": len(self.runs),
         }
+
+    # -- serialization -----------------------------------------------------------
+    def to_json_dict(self) -> dict:
+        """Plain-JSON representation; inverse of :meth:`from_json_dict`."""
+        return {
+            "architecture": self.architecture,
+            "workload": self.workload,
+            "pattern": self.pattern,
+            "num_producers": self.num_producers,
+            "num_consumers": self.num_consumers,
+            "runs": [run.to_json_dict() for run in self.runs],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "ExperimentResult":
+        return cls(
+            architecture=payload["architecture"],
+            workload=payload["workload"],
+            pattern=payload["pattern"],
+            num_producers=payload["num_producers"],
+            num_consumers=payload["num_consumers"],
+            runs=[RunResult.from_json_dict(run) for run in payload["runs"]],
+        )

@@ -1,0 +1,403 @@
+"""Unified scenario runner: one execution engine behind every sweep.
+
+The paper's evaluation is a grid of *scenario points* — architecture x
+workload x pattern x scale x seed — reduced into figures and tables.  This
+module is the single place where that grid is executed:
+
+* :class:`ScenarioPoint` — one picklable unit of work (an
+  :class:`~repro.harness.config.ExperimentConfig` plus a series label and
+  axis metadata used when reassembling results into sweeps/figures).
+* :class:`ScenarioSet` — builder API for grids and sweeps, with a
+  deterministic point order.
+* :class:`ExecutionBackend` — how the points run: :class:`SerialBackend`
+  (in-process, the reference semantics) or :class:`ProcessPoolBackend`
+  (chunked ``multiprocessing``).  Every simulation seeds its own random
+  streams from the config, so parallel execution is bit-identical to serial
+  for the same seeds; outcomes are always returned in submission order.
+* :func:`run_scenarios` — the one entry point used by
+  :class:`~repro.harness.sweep.ConsumerSweep`,
+  :func:`~repro.core.study.compare_architectures`,
+  :func:`~repro.core.study.deployment_comparison`, the figure generators and
+  the CLI.
+
+Results can be cached to disk (:class:`~repro.harness.cache.ResultCache`) and
+reused by figure regeneration: pass ``cache=`` to :func:`run_scenarios` and
+already-computed points are loaded instead of re-simulated.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import traceback
+from dataclasses import dataclass, field, replace
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+from ..architectures import Testbed, make_architecture
+from ..simkit import Environment
+from .config import ExperimentConfig
+from .results import ExperimentResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cache import ResultCache
+
+__all__ = [
+    "ScenarioPoint",
+    "ScenarioSet",
+    "PointOutcome",
+    "ScenarioError",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+    "resolve_backend",
+    "run_scenarios",
+]
+
+#: ``ScenarioPoint.kind`` values understood by the execution engine.
+POINT_KINDS = ("experiment", "deployment")
+
+
+class ScenarioError(RuntimeError):
+    """A scenario point crashed (as opposed to being infeasible).
+
+    Infeasible deployments are *results* (``feasible=False``); this error
+    means the simulation itself raised.  Both backends surface it the same
+    way: the first failing point in submission order wins.
+    """
+
+    def __init__(self, label: str, message: str) -> None:
+        super().__init__(f"scenario point {label!r} failed: {message}")
+        self.label = label
+
+
+@dataclass
+class ScenarioPoint:
+    """One unit of work for the execution engine.
+
+    ``label`` names the series the point belongs to (usually the
+    architecture); ``axes`` carries whatever coordinates the caller needs to
+    reassemble results (consumer count, workload, sweep variable...).  The
+    whole point must be picklable so it can cross a process boundary.
+    """
+
+    config: ExperimentConfig
+    label: str = ""
+    axes: dict = field(default_factory=dict)
+    #: "experiment" runs the full measurement; "deployment" deploys the
+    #: architecture control-plane only and returns a DeploymentReport.
+    kind: str = "experiment"
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            self.label = self.config.architecture
+        if self.kind not in POINT_KINDS:
+            raise ValueError(f"unknown point kind {self.kind!r}; "
+                             f"expected one of {POINT_KINDS}")
+
+    def cache_key(self) -> str:
+        """Stable content hash of the point (config + kind)."""
+        canonical = json.dumps({"kind": self.kind,
+                                "config": self.config.to_json_dict()},
+                               sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+    def describe(self) -> dict:
+        info = {"label": self.label, "kind": self.kind, **self.axes}
+        info.update(self.config.describe())
+        return info
+
+
+@dataclass
+class PointOutcome:
+    """A scenario point paired with whatever it produced."""
+
+    point: ScenarioPoint
+    #: ExperimentResult for "experiment" points, DeploymentReport for
+    #: "deployment" points.
+    result: Any
+    #: True when the result came from a ResultCache instead of a simulation.
+    cached: bool = False
+
+
+class ScenarioSet:
+    """An ordered collection of scenario points with grid builders.
+
+    Order is deterministic and significant: backends return outcomes in
+    exactly this order, which is what makes parallel sweeps bit-identical to
+    serial ones.
+    """
+
+    def __init__(self, points: Iterable[ScenarioPoint] = ()) -> None:
+        self._points: list[ScenarioPoint] = list(points)
+
+    # -- collection protocol -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[ScenarioPoint]:
+        return iter(self._points)
+
+    def __getitem__(self, index: int) -> ScenarioPoint:
+        return self._points[index]
+
+    @property
+    def points(self) -> tuple[ScenarioPoint, ...]:
+        return tuple(self._points)
+
+    # -- builders -----------------------------------------------------------
+    def add(self, point: ScenarioPoint) -> "ScenarioSet":
+        self._points.append(point)
+        return self
+
+    def add_config(self, config: ExperimentConfig, *, label: str = "",
+                   kind: str = "experiment", **axes) -> "ScenarioSet":
+        return self.add(ScenarioPoint(config=config, label=label,
+                                      axes=axes, kind=kind))
+
+    def extend(self, points: Iterable[ScenarioPoint]) -> "ScenarioSet":
+        self._points.extend(points)
+        return self
+
+    @classmethod
+    def grid(cls, base: ExperimentConfig, *,
+             architectures: Optional[Sequence[str]] = None,
+             workloads: Optional[Sequence[str]] = None,
+             patterns: Optional[Sequence[str]] = None,
+             consumer_counts: Optional[Sequence[int]] = None,
+             seeds: Optional[Sequence[int]] = None,
+             equal_producers: bool = True) -> "ScenarioSet":
+        """Cartesian grid over the paper's scenario axes.
+
+        Any axis left as ``None`` stays fixed at the base config's value.
+        Points are ordered architecture-major (matching the historical sweep
+        loops), then workload, pattern, consumer count and seed.
+        """
+        scenarios = cls()
+        for architecture in architectures or [base.architecture]:
+            for workload in workloads or [base.workload]:
+                for pattern in patterns or [base.pattern]:
+                    config = replace(
+                        base.with_architecture(architecture),
+                        workload=workload, pattern=pattern)
+                    for consumers in consumer_counts or [base.num_consumers]:
+                        point_config = config.with_consumers(
+                            consumers, equal_producers=equal_producers)
+                        for seed in seeds or [base.seed]:
+                            scenarios.add_config(
+                                replace(point_config, seed=seed),
+                                label=architecture,
+                                workload=workload, pattern=pattern,
+                                consumers=consumers, seed=seed)
+        return scenarios
+
+    @classmethod
+    def consumer_sweep(cls, base: ExperimentConfig, *,
+                       architectures: Sequence[str],
+                       consumer_counts: Sequence[int],
+                       equal_producers: bool = True) -> "ScenarioSet":
+        """The (architecture, consumer-count) grid behind Figures 4-8."""
+        return cls.grid(base, architectures=architectures,
+                        consumer_counts=consumer_counts,
+                        equal_producers=equal_producers)
+
+    @classmethod
+    def deployments(cls, architectures: Sequence[str],
+                    base: Optional[ExperimentConfig] = None) -> "ScenarioSet":
+        """Control-plane-only deployment points (the Table comparison)."""
+        scenarios = cls()
+        base = base or ExperimentConfig()
+        for offset, label in enumerate(dict.fromkeys(architectures)):
+            config = replace(base.with_architecture(label),
+                             seed=base.seed + offset)
+            scenarios.add_config(config, label=label, kind="deployment")
+        return scenarios
+
+
+# ---------------------------------------------------------------------------
+# Point execution (shared by every backend; must be picklable, hence
+# module-level).
+# ---------------------------------------------------------------------------
+
+def execute_point(point: ScenarioPoint) -> Any:
+    """Run one scenario point to completion in the current process."""
+    if point.kind == "deployment":
+        config = point.config
+        env = Environment()
+        testbed = Testbed(env, replace(config.testbed, seed=config.seed))
+        architecture = make_architecture(config.architecture, testbed,
+                                         **config.architecture_options)
+        env.run(until=env.process(architecture.deploy()))
+        return architecture.deployment_report()
+    from .experiment import Experiment
+    return Experiment(point.config).run()
+
+
+def _execute_indexed(item: tuple[int, ScenarioPoint]) -> tuple[int, bool, Any]:
+    """Pool worker: never lets an exception escape (it would lose ordering);
+    failures travel back as (index, False, traceback-text) and are re-raised
+    by the parent in submission order with the worker's full traceback."""
+    index, point = item
+    try:
+        return index, True, execute_point(point)
+    except Exception:  # noqa: BLE001 - reported in the parent
+        return index, False, traceback.format_exc()
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """How a list of scenario points gets executed.
+
+    ``run`` returns one ``(ok, value)`` pair per point, *in point order*;
+    ``value`` is the point's result when ``ok`` is true and the worker's
+    traceback text otherwise.  Implementations must preserve ordering — the
+    reassembly code in sweeps and figures depends on it.
+
+    ``progress`` timing is backend-defined: the serial backend calls it just
+    before each point starts (submission order); the process pool calls it
+    as each point completes (completion order).  Callbacks must not rely on
+    either timing for correctness.
+    """
+
+    def run(self, points: Sequence[ScenarioPoint],
+            progress: Optional[Callable[[ScenarioPoint], None]] = None
+            ) -> list[tuple[bool, Any]]:
+        ...  # pragma: no cover - protocol
+
+
+class SerialBackend:
+    """Reference backend: run every point in-process, one after another."""
+
+    def run(self, points: Sequence[ScenarioPoint],
+            progress: Optional[Callable[[ScenarioPoint], None]] = None
+            ) -> list[tuple[bool, Any]]:
+        outcomes: list[tuple[bool, Any]] = []
+        for point in points:
+            if progress is not None:
+                progress(point)
+            index, ok, value = _execute_indexed((len(outcomes), point))
+            outcomes.append((ok, value))
+        return outcomes
+
+
+class ProcessPoolBackend:
+    """Chunked multiprocessing backend.
+
+    Points are distributed over ``jobs`` worker processes; results are
+    reassembled into submission order, so for the same seeds the output is
+    bit-identical to :class:`SerialBackend` (each simulation derives all of
+    its randomness from the point's config, never from process state).
+    """
+
+    def __init__(self, jobs: Optional[int] = None, *,
+                 chunksize: Optional[int] = None,
+                 start_method: Optional[str] = None) -> None:
+        self.jobs = jobs or os.cpu_count() or 1
+        self.chunksize = chunksize
+        self.start_method = start_method
+
+    def _chunksize(self, total: int) -> int:
+        if self.chunksize is not None:
+            return max(1, self.chunksize)
+        # ~4 chunks per worker balances load without drowning in IPC.
+        return max(1, total // (self.jobs * 4) or 1)
+
+    def run(self, points: Sequence[ScenarioPoint],
+            progress: Optional[Callable[[ScenarioPoint], None]] = None
+            ) -> list[tuple[bool, Any]]:
+        if not points:
+            return []
+        if self.jobs <= 1 or len(points) == 1:
+            return SerialBackend().run(points, progress)
+        context = (multiprocessing.get_context(self.start_method)
+                   if self.start_method else multiprocessing.get_context())
+        slots: list[Optional[tuple[bool, Any]]] = [None] * len(points)
+        with context.Pool(processes=min(self.jobs, len(points))) as pool:
+            indexed = list(enumerate(points))
+            for index, ok, value in pool.imap_unordered(
+                    _execute_indexed, indexed,
+                    chunksize=self._chunksize(len(points))):
+                slots[index] = (ok, value)
+                if progress is not None:
+                    progress(points[index])
+        return [slot for slot in slots if slot is not None]
+
+
+def resolve_backend(backend: Optional[ExecutionBackend] = None,
+                    jobs: Optional[int] = None) -> ExecutionBackend:
+    """Pick a backend: explicit wins, then ``jobs > 1`` => process pool."""
+    if backend is not None:
+        return backend
+    if jobs is not None and jobs > 1:
+        return ProcessPoolBackend(jobs)
+    return SerialBackend()
+
+
+# ---------------------------------------------------------------------------
+# The one entry point
+# ---------------------------------------------------------------------------
+
+def run_scenarios(scenarios: Iterable[ScenarioPoint], *,
+                  backend: Optional[ExecutionBackend] = None,
+                  jobs: Optional[int] = None,
+                  progress: Optional[Callable[[ScenarioPoint], None]] = None,
+                  cache: Optional["ResultCache"] = None
+                  ) -> list[PointOutcome]:
+    """Execute scenario points and return outcomes in submission order.
+
+    ``cache`` (a :class:`~repro.harness.cache.ResultCache`) short-circuits
+    points whose results are already on disk and records fresh ones; only
+    "experiment" points are cacheable.  Crashed points raise
+    :class:`ScenarioError` — the first failure in submission order —
+    regardless of backend.
+    """
+    points = list(scenarios)
+    backend = resolve_backend(backend, jobs)
+
+    outcomes: list[Optional[PointOutcome]] = [None] * len(points)
+    pending: list[tuple[int, ScenarioPoint]] = []
+    for index, point in enumerate(points):
+        cached = (cache.load(point) if cache is not None
+                  and point.kind == "experiment" else None)
+        if cached is not None:
+            outcomes[index] = PointOutcome(point=point, result=cached,
+                                           cached=True)
+        else:
+            pending.append((index, point))
+
+    if pending:
+        executed = backend.run([point for _, point in pending], progress)
+        failure: Optional[ScenarioError] = None
+        # Record every completed result (and persist the cache) before
+        # raising, so one crashed point does not discard the rest of a
+        # long sweep's work.
+        for (index, point), (ok, value) in zip(pending, executed):
+            if not ok:
+                if failure is None:
+                    failure = ScenarioError(point.label, value)
+                continue
+            if cache is not None and point.kind == "experiment":
+                cache.store(point, value)
+            outcomes[index] = PointOutcome(point=point, result=value)
+        if cache is not None:
+            cache.save()
+        if failure is not None:
+            raise failure
+    elif cache is not None:
+        cache.save()
+    return [outcome for outcome in outcomes if outcome is not None]

@@ -10,11 +10,14 @@ the figure generators consume directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
 from .config import ExperimentConfig
-from .experiment import Experiment
 from .results import ExperimentResult
+from .runner import ExecutionBackend, ScenarioPoint, ScenarioSet, run_scenarios
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .cache import ResultCache
 
 __all__ = ["PAPER_CONSUMER_COUNTS", "SweepResult", "ConsumerSweep"]
 
@@ -80,19 +83,37 @@ class ConsumerSweep:
         self.consumer_counts = tuple(consumer_counts)
         self.equal_producers = equal_producers
 
-    def run(self, *, progress: Optional[Callable[[str, int], None]] = None
-            ) -> SweepResult:
+    def scenario_set(self) -> ScenarioSet:
+        """The sweep as scenario points, in the historical execution order."""
+        return ScenarioSet.consumer_sweep(
+            self.base_config, architectures=self.architectures,
+            consumer_counts=self.consumer_counts,
+            equal_producers=self.equal_producers)
+
+    def run(self, *, progress: Optional[Callable[[str, int], None]] = None,
+            jobs: Optional[int] = None,
+            backend: Optional[ExecutionBackend] = None,
+            cache: Optional["ResultCache"] = None) -> SweepResult:
+        """Run every (architecture, consumer-count) point.
+
+        ``jobs > 1`` (or an explicit ``backend``) fans the points out over
+        the unified scenario runner's process pool; results are identical to
+        serial execution for the same seeds.
+        """
         sweep = SweepResult(workload=self.base_config.workload,
                             pattern=self.base_config.pattern,
                             consumer_counts=self.consumer_counts)
         for label in self.architectures:
-            sweep.results[label] = {}
-            for consumers in self.consumer_counts:
-                if progress is not None:
-                    progress(label, consumers)
-                config = (self.base_config
-                          .with_architecture(label)
-                          .with_consumers(consumers,
-                                          equal_producers=self.equal_producers))
-                sweep.results[label][consumers] = Experiment(config).run()
+            sweep.results.setdefault(label, {})
+
+        def point_progress(point: ScenarioPoint) -> None:
+            if progress is not None:
+                progress(point.label, point.axes["consumers"])
+
+        outcomes = run_scenarios(self.scenario_set(), jobs=jobs,
+                                 backend=backend, cache=cache,
+                                 progress=point_progress)
+        for outcome in outcomes:
+            point = outcome.point
+            sweep.results[point.label][point.axes["consumers"]] = outcome.result
         return sweep

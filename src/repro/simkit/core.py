@@ -25,9 +25,9 @@ Design notes
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from collections.abc import Callable, Generator, Iterable
+from heapq import heappop, heappush
 from typing import Any, Optional
 
 from .errors import Interrupt, SchedulingError, SimkitError, StopSimulation
@@ -156,7 +156,11 @@ class Timeout(Event):
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SchedulingError(f"negative delay {delay}")
-        super().__init__(env)
+        # Timeouts are the hottest allocation in the engine (one per yielded
+        # delay), so the base initializer is inlined here.
+        self.env = env
+        self.callbacks = []
+        self._defused = False
         self.delay = delay
         self._ok = True
         self._value = value
@@ -238,16 +242,17 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         """Resume the generator with the value (or exception) of ``event``."""
         self.env._active_proc = self
+        generator = self._generator
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = generator.send(event._value)
                 else:
                     # The exception is being handed to the process, which
                     # counts as handling it.
                     event._defused = True
                     exc = event._value
-                    next_event = self._generator.throw(exc)
+                    next_event = generator.throw(exc)
             except StopIteration as exc:
                 # Process finished successfully.
                 self._ok = True
@@ -289,7 +294,7 @@ class Process(Event):
 class Condition(Event):
     """An event that triggers when a condition over child events holds."""
 
-    __slots__ = ("_events", "_evaluate", "_count")
+    __slots__ = ("_events", "_evaluate", "_count", "_threshold")
 
     def __init__(self, env: "Environment",
                  evaluate: Callable[[list[Event], int], bool],
@@ -298,7 +303,17 @@ class Condition(Event):
         self._events = list(events)
         self._evaluate = evaluate
         self._count = 0
+        # Fast path for the two canonical conditions: a triggered-count
+        # threshold avoids calling out to ``evaluate`` on every child event.
+        if evaluate is Condition.all_events:
+            self._threshold: Optional[int] = len(self._events)
+        elif evaluate is Condition.any_event:
+            self._threshold = 1
+        else:
+            self._threshold = None
 
+        # Validate the whole list before attaching any callback so a
+        # mixed-environment error leaves no orphaned registrations behind.
         for event in self._events:
             if event.env is not env:
                 raise ValueError("events from different environments")
@@ -307,16 +322,17 @@ class Condition(Event):
             self.succeed(self._collect_values())
             return
 
+        check = self._check
         for event in self._events:
             if event.callbacks is None:
-                self._check(event)
+                check(event)
             else:
-                event.callbacks.append(self._check)
+                event.callbacks.append(check)
 
     def _collect_values(self) -> dict[Event, Any]:
         """Values of all triggered (successful) child events, in order."""
         return {e: e._value for e in self._events
-                if e.triggered and e._ok}
+                if e._value is not PENDING and e._ok}
 
     def _check(self, event: Event) -> None:
         if self._value is not PENDING:
@@ -325,7 +341,10 @@ class Condition(Event):
         if not event._ok:
             event._defused = True
             self.fail(event._value)
-        elif self._evaluate(self._events, self._count):
+            return
+        threshold = self._threshold
+        if (self._count >= threshold if threshold is not None
+                else self._evaluate(self._events, self._count)):
             self.succeed(self._collect_values())
 
     @staticmethod
@@ -358,6 +377,8 @@ class Environment:
     factory helpers (:meth:`event`, :meth:`timeout`, :meth:`process`) so user
     code rarely needs to instantiate event classes directly.
     """
+
+    __slots__ = ("_now", "_queue", "_eid", "_active_proc")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -398,8 +419,8 @@ class Environment:
 
     # -- scheduling ----------------------------------------------------------
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
-        heapq.heappush(self._queue,
-                       (self._now + delay, priority, next(self._eid), event))
+        heappush(self._queue,
+                 (self._now + delay, priority, next(self._eid), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -412,8 +433,7 @@ class Environment:
         exception of any failed event that nobody defused (i.e. a crashed
         process that no other process was waiting on).
         """
-        when, _prio, _eid, event = heapq.heappop(self._queue)
-        self._now = when
+        self._now, _prio, _eid, event = heappop(self._queue)
 
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
@@ -450,8 +470,10 @@ class Environment:
                 self._schedule(stop, URGENT, at - self._now)
 
         try:
-            while self._queue:
-                self.step()
+            step = self.step
+            queue = self._queue
+            while queue:
+                step()
         except StopSimulation as stop:
             return stop.value
         if until_event is not None and not until_event.triggered:
