@@ -5,7 +5,10 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench-smoke bench check example
+# Line-coverage floor enforced by `make coverage` over the execution engine.
+COVERAGE_FLOOR ?= 85
+
+.PHONY: test bench-smoke bench check coverage example
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,6 +20,18 @@ bench:
 	$(PYTHON) -m pytest benchmarks -q --benchmark-only
 
 check: test bench-smoke
+
+# Coverage gate over the harness (runner/cache/sweep/policy are the layers
+# fault-tolerance lives in).  Skips gracefully where pytest-cov is absent —
+# the container image pins its python toolchain.
+coverage:
+	@if $(PYTHON) -c "import pytest_cov" >/dev/null 2>&1; then \
+		$(PYTHON) -m pytest tests -q --cov=repro.harness \
+			--cov-report=term-missing --cov-fail-under=$(COVERAGE_FLOOR); \
+	else \
+		echo "[coverage] pytest-cov not installed; skipping" \
+		     "(pip install pytest-cov, then re-run make coverage)"; \
+	fi
 
 example:
 	$(PYTHON) examples/parallel_sweep.py

@@ -9,7 +9,10 @@ and CLI command:
 2. run it serially and on a process pool and verify the results are
    bit-identical (each point derives all randomness from its own config),
 3. cache the results to a JSON file and re-run the sweep instantly from the
-   cache, the way figure regeneration reuses earlier runs.
+   cache, the way figure regeneration reuses earlier runs,
+4. run under an :class:`~repro.harness.ExecutionPolicy` so per-point
+   timeouts, retries and failures become structured records instead of
+   killing the sweep.
 
 Run with::
 
@@ -23,7 +26,12 @@ import tempfile
 import time
 
 from repro.architectures import TestbedConfig
-from repro.harness import ConsumerSweep, ExperimentConfig, ResultCache
+from repro.harness import (
+    ConsumerSweep,
+    ExecutionPolicy,
+    ExperimentConfig,
+    ResultCache,
+)
 from repro.metrics import format_table
 
 ARCHITECTURES = ["DTS", "PRS(HAProxy)", "MSS"]
@@ -68,6 +76,14 @@ def main() -> None:
         cached_s = time.perf_counter() - start
         print(f"re-run from cache: {cached_s:.3f}s "
               f"(matches: {cached.rows() == serial.rows()})")
+
+    # Fault tolerance: bound each point to 60s of wall clock, retry twice
+    # (retries re-derive their seeds, so results match a clean run), and
+    # record exhausted points instead of raising.
+    policy = ExecutionPolicy(timeout_s=60.0, retries=2, on_error="record")
+    guarded = sweep.run(jobs=jobs, policy=policy)
+    print(f"with policy {policy}: {len(guarded.failures)} failed point(s), "
+          f"matches clean run: {guarded.rows() == serial.rows()}")
 
 
 if __name__ == "__main__":

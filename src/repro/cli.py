@@ -14,9 +14,12 @@ Examples::
 Every experiment-running subcommand goes through the unified scenario
 runner: ``--jobs N`` fans the points out over a process pool (results are
 bit-identical to serial for the same seed) and ``--cache PATH`` caches
-per-point results to a JSON file that later invocations reuse.  Every
-subcommand prints an ASCII table; ``--csv PATH`` also writes the rows to a
-CSV file.
+per-point results to a JSON file that later invocations reuse (entries
+written by older code are auto-invalidated unless ``--allow-stale``).
+``--timeout S``, ``--retries N`` and ``--on-error raise|skip|record``
+bound each point's wall-clock time and decide what a point that exhausts
+its attempts becomes.  Every subcommand prints an ASCII table; ``--csv
+PATH`` also writes the rows to a CSV file.
 """
 
 from __future__ import annotations
@@ -37,8 +40,10 @@ from .core import (
 )
 from .core.study import PAPER_ARCHITECTURES
 from .harness import (
+    ON_ERROR_MODES,
     PAPER_CONSUMER_COUNTS,
     ConsumerSweep,
+    ExecutionPolicy,
     ExperimentConfig,
     ResultCache,
     run_experiment,
@@ -48,6 +53,37 @@ from .metrics import format_table, write_csv
 __all__ = ["main", "build_parser"]
 
 
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be a positive number")
+    return value
+
+
+def _non_negative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be >= 0")
+    return value
+
+
+def _add_policy_options(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--timeout", type=_positive_float, default=None, metavar="SECONDS",
+        help="per-point wall-clock timeout; a point that exceeds it counts "
+             "as a failure (and is retried if --retries > 0)")
+    subparser.add_argument(
+        "--retries", type=_non_negative_int, default=0, metavar="N",
+        help="extra attempts per failed/timed-out point; retries re-derive "
+             "their seeds from the config, so results match a clean run")
+    subparser.add_argument(
+        "--on-error", choices=ON_ERROR_MODES, default="raise",
+        dest="on_error",
+        help="what a point that exhausts its attempts becomes: raise "
+             "aborts the sweep (default), skip drops the point, record "
+             "reports it as a failed row")
+
+
 def _add_runner_options(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
@@ -55,7 +91,13 @@ def _add_runner_options(subparser: argparse.ArgumentParser) -> None:
              "(bit-identical to serial execution for the same seed)")
     subparser.add_argument(
         "--cache", default=None, metavar="PATH",
-        help="JSON result cache; already-computed points are reused")
+        help="JSON result cache; already-computed points are reused and "
+             "fresh ones are persisted incrementally as they complete")
+    subparser.add_argument(
+        "--allow-stale", action="store_true",
+        help="serve cache entries written by a different version of the "
+             "repro source instead of recomputing them")
+    _add_policy_options(subparser)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,6 +115,7 @@ def build_parser() -> argparse.ArgumentParser:
                             default=["DTS", "PRS(HAProxy)", "MSS"])
     deployment.add_argument("--jobs", type=int, default=None, metavar="N",
                             help="deploy architectures in parallel")
+    _add_policy_options(deployment)
 
     compare = sub.add_parser("compare", help="compare architectures on one scenario")
     compare.add_argument("--workload", default="Dstream")
@@ -134,17 +177,39 @@ def _emit(rows: list[dict], *, title: str, csv_path: Optional[str]) -> None:
 
 
 def _cache_from(args: argparse.Namespace) -> Optional[ResultCache]:
-    return ResultCache(args.cache) if getattr(args, "cache", None) else None
+    if not getattr(args, "cache", None):
+        return None
+    return ResultCache(args.cache,
+                       allow_stale=getattr(args, "allow_stale", False))
+
+
+def _policy_from(args: argparse.Namespace) -> Optional[ExecutionPolicy]:
+    timeout = getattr(args, "timeout", None)
+    retries = getattr(args, "retries", 0)
+    on_error = getattr(args, "on_error", "raise")
+    if timeout is None and not retries and on_error == "raise":
+        return None
+    return ExecutionPolicy(timeout_s=timeout, retries=retries,
+                           on_error=on_error)
+
+
+def _report_failures(failures) -> None:
+    if failures:
+        print(format_table([failure.as_row() for failure in failures],
+                           title=f"{len(failures)} failed point(s)"),
+              file=sys.stderr)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
     comparison = compare_architectures(
         workload=args.workload, pattern=args.pattern, consumers=args.consumers,
         architectures=args.architectures, messages_per_producer=args.messages,
-        runs=args.runs, seed=args.seed, jobs=args.jobs, cache=_cache_from(args))
+        runs=args.runs, seed=args.seed, jobs=args.jobs, cache=_cache_from(args),
+        policy=_policy_from(args))
     _emit(comparison.rows(),
           title=f"{args.workload} / {args.pattern} @ {args.consumers} consumers",
           csv_path=args.csv)
+    _report_failures(comparison.failures)
     return 0
 
 
@@ -157,11 +222,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep = ConsumerSweep(
         base, architectures=args.architectures, consumer_counts=args.consumers,
         equal_producers=not args.pattern.startswith("broadcast"))
-    result = sweep.run(jobs=args.jobs, cache=_cache_from(args))
+    result = sweep.run(jobs=args.jobs, cache=_cache_from(args),
+                       policy=_policy_from(args))
     _emit(result.rows(args.metric),
           title=f"{args.workload} / {args.pattern} sweep "
                 f"({', '.join(args.architectures)})",
           csv_path=args.csv)
+    _report_failures(result.failures)
     return 0
 
 
@@ -182,11 +249,13 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_figure(args: argparse.Namespace) -> int:
     kwargs = dict(consumer_counts=args.consumers, runs=args.runs, seed=args.seed,
                   messages_per_producer=args.messages, jobs=args.jobs,
-                  cache=_cache_from(args))
+                  cache=_cache_from(args), policy=_policy_from(args))
     generators = {"fig4": figure4, "fig5": figure5, "fig6": figure6,
                   "fig7": figure7, "fig8": figure8}
     data = generators[args.name](**kwargs)
     _emit(data.rows, title=data.description, csv_path=args.csv)
+    for sweep in data.sweeps.values():
+        _report_failures(sweep.failures)
     return 0
 
 
@@ -196,9 +265,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(table1_text())
         return 0
     if args.command == "deployment":
-        reports = deployment_comparison(args.architectures, jobs=args.jobs)
+        reports = deployment_comparison(args.architectures, jobs=args.jobs,
+                                        policy=_policy_from(args))
         print(format_table([r.as_row() for r in reports.values()],
                            title="Architecture deployment comparison"))
+        # Deployments return a plain mapping, so a failed architecture
+        # (on_error=skip/record) is simply absent — name the casualties.
+        missing = [label for label in dict.fromkeys(args.architectures)
+                   if label not in reports]
+        if missing:
+            print(f"[{len(missing)} deployment(s) failed and were omitted: "
+                  f"{', '.join(missing)}]", file=sys.stderr)
         return 0
     if args.command == "compare":
         return _cmd_compare(args)

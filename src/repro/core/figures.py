@@ -30,6 +30,7 @@ from ..harness import (
     PAPER_CONSUMER_COUNTS,
     ConsumerSweep,
     ExecutionBackend,
+    ExecutionPolicy,
     ExperimentConfig,
     ScenarioSet,
     SweepResult,
@@ -111,13 +112,14 @@ def _sweep(workload: str, pattern: str, architectures: Sequence[str],
            equal_producers: bool = True,
            jobs: Optional[int] = None,
            backend: Optional[ExecutionBackend] = None,
-           cache: Optional["ResultCache"] = None, **overrides) -> SweepResult:
+           cache: Optional["ResultCache"] = None,
+           policy: Optional[ExecutionPolicy] = None, **overrides) -> SweepResult:
     base = _base_config(workload, pattern, messages_per_producer=messages_per_producer,
                         runs=runs, seed=seed, testbed=testbed, **overrides)
     sweep = ConsumerSweep(base, architectures=architectures,
                           consumer_counts=consumer_counts,
                           equal_producers=equal_producers)
-    return sweep.run(jobs=jobs, backend=backend, cache=cache)
+    return sweep.run(jobs=jobs, backend=backend, cache=cache, policy=policy)
 
 
 def _sweep_grid(workloads: Sequence[str], patterns: Sequence[str],
@@ -127,6 +129,7 @@ def _sweep_grid(workloads: Sequence[str], patterns: Sequence[str],
                 jobs: Optional[int] = None,
                 backend: Optional[ExecutionBackend] = None,
                 cache: Optional["ResultCache"] = None,
+                policy: Optional[ExecutionPolicy] = None,
                 **overrides) -> dict[tuple[str, str], SweepResult]:
     """Sweeps for every (workload, pattern) cell, executed as ONE scenario
     grid so a process pool parallelizes across all of a figure's points, not
@@ -147,9 +150,12 @@ def _sweep_grid(workloads: Sequence[str], patterns: Sequence[str],
                 workload=workload, pattern=pattern,
                 consumer_counts=consumer_counts)
     for outcome in run_scenarios(scenarios, jobs=jobs, backend=backend,
-                                 cache=cache):
+                                 cache=cache, policy=policy):
         axes = outcome.point.axes
         sweep = sweeps[(axes["workload"], axes["pattern"])]
+        if not outcome.ok:
+            sweep.record_failure(outcome)
+            continue
         sweep.results.setdefault(outcome.point.label, {})
         sweep.results[outcome.point.label][axes["consumers"]] = outcome.result
     return sweeps
@@ -184,7 +190,8 @@ def figure4(*, workloads: Sequence[str] = ("Dstream", "Lstream"),
             testbed: Optional[TestbedConfig] = None,
             jobs: Optional[int] = None,
             backend: Optional[ExecutionBackend] = None,
-            cache: Optional["ResultCache"] = None) -> FigureData:
+            cache: Optional["ResultCache"] = None,
+            policy: Optional[ExecutionPolicy] = None) -> FigureData:
     """Throughput (msgs/s) under the work sharing pattern (Figure 4)."""
     data = FigureData(
         figure="figure4",
@@ -194,7 +201,7 @@ def figure4(*, workloads: Sequence[str] = ("Dstream", "Lstream"),
                          consumer_counts,
                          messages_per_producer=messages_per_producer, runs=runs,
                          seed=seed, testbed=testbed, jobs=jobs, backend=backend,
-                         cache=cache)
+                         cache=cache, policy=policy)
     for workload in workloads:
         sweep = sweeps[(workload, "work_sharing")]
         data.sweeps[workload] = sweep
@@ -214,7 +221,8 @@ def figure6(*, workloads: Sequence[str] = ("Dstream", "Lstream"),
             testbed: Optional[TestbedConfig] = None,
             jobs: Optional[int] = None,
             backend: Optional[ExecutionBackend] = None,
-            cache: Optional["ResultCache"] = None) -> FigureData:
+            cache: Optional["ResultCache"] = None,
+            policy: Optional[ExecutionPolicy] = None) -> FigureData:
     """Median RTT under work sharing with feedback (Figure 6)."""
     data = FigureData(
         figure="figure6",
@@ -224,7 +232,7 @@ def figure6(*, workloads: Sequence[str] = ("Dstream", "Lstream"),
                          architectures, consumer_counts,
                          messages_per_producer=messages_per_producer, runs=runs,
                          seed=seed, testbed=testbed, jobs=jobs, backend=backend,
-                         cache=cache)
+                         cache=cache, policy=policy)
     for workload in workloads:
         sweep = sweeps[(workload, "work_sharing_feedback")]
         data.sweeps[workload] = sweep
@@ -240,14 +248,15 @@ def figure5(*, workloads: Sequence[str] = ("Dstream", "Lstream"),
             testbed: Optional[TestbedConfig] = None,
             jobs: Optional[int] = None,
             backend: Optional[ExecutionBackend] = None,
-            cache: Optional["ResultCache"] = None) -> FigureData:
+            cache: Optional["ResultCache"] = None,
+            policy: Optional[ExecutionPolicy] = None) -> FigureData:
     """CDFs of per-message RTT under work sharing with feedback (Figure 5)."""
     consumer_counts = tuple(consumer_counts)
     data = figure6(workloads=workloads, architectures=architectures,
                    consumer_counts=consumer_counts,
                    messages_per_producer=messages_per_producer, runs=runs,
                    seed=seed, testbed=testbed, jobs=jobs, backend=backend,
-                   cache=cache)
+                   cache=cache, policy=policy)
     data.figure = "figure5"
     data.description = ("CDF of individual message RTTs, work sharing with "
                         "feedback (Dstream and Lstream), 1-64 consumers")
@@ -267,7 +276,8 @@ def figure7(*, architectures: Sequence[str] = BROADCAST_ARCHITECTURES,
             testbed: Optional[TestbedConfig] = None,
             jobs: Optional[int] = None,
             backend: Optional[ExecutionBackend] = None,
-            cache: Optional["ResultCache"] = None) -> FigureData:
+            cache: Optional["ResultCache"] = None,
+            policy: Optional[ExecutionPolicy] = None) -> FigureData:
     """Broadcast throughput and broadcast+gather median RTT (Figure 7)."""
     data = FigureData(
         figure="figure7",
@@ -277,7 +287,7 @@ def figure7(*, architectures: Sequence[str] = BROADCAST_ARCHITECTURES,
                          architectures, consumer_counts,
                          messages_per_producer=messages_per_producer, runs=runs,
                          seed=seed, testbed=testbed, equal_producers=False,
-                         jobs=jobs, backend=backend, cache=cache)
+                         jobs=jobs, backend=backend, cache=cache, policy=policy)
     broadcast = sweeps[("Generic", "broadcast")]
     gather = sweeps[("Generic", "broadcast_gather")]
     data.sweeps["broadcast"] = broadcast
@@ -298,7 +308,8 @@ def figure8(*, architectures: Sequence[str] = BROADCAST_ARCHITECTURES,
             testbed: Optional[TestbedConfig] = None,
             jobs: Optional[int] = None,
             backend: Optional[ExecutionBackend] = None,
-            cache: Optional["ResultCache"] = None) -> FigureData:
+            cache: Optional["ResultCache"] = None,
+            policy: Optional[ExecutionPolicy] = None) -> FigureData:
     """CDFs of per-message RTT under broadcast and gather (Figure 8)."""
     consumer_counts = tuple(consumer_counts)
     data = FigureData(
@@ -308,7 +319,7 @@ def figure8(*, architectures: Sequence[str] = BROADCAST_ARCHITECTURES,
     sweep = _sweep("Generic", "broadcast_gather", architectures, consumer_counts,
                    messages_per_producer=messages_per_producer, runs=runs,
                    seed=seed, testbed=testbed, equal_producers=False,
-                   jobs=jobs, backend=backend, cache=cache)
+                   jobs=jobs, backend=backend, cache=cache, policy=policy)
     data.sweeps["Generic"] = sweep
     data.cdfs["Generic"] = _collect_cdfs(sweep, consumer_counts, cdf_points)
     data.rows.extend(sweep.rows("median_rtt_s"))
@@ -366,42 +377,48 @@ def ablation_tunnel_type(*, workload: str = "Dstream",
                          consumer_counts: Iterable[int] = (1, 4, 16),
                          messages_per_producer: int = 15, seed: int = 1,
                          testbed: Optional[TestbedConfig] = None,
-                         jobs: Optional[int] = None) -> SweepResult:
+                         jobs: Optional[int] = None,
+                         policy: Optional[ExecutionPolicy] = None) -> SweepResult:
     """PRS tunnel choice: Stunnel vs HAProxy vs Nginx."""
     return _sweep(workload, "work_sharing",
                   ["PRS(Stunnel)", "PRS(HAProxy)", "PRS(Nginx)"],
                   consumer_counts, messages_per_producer=messages_per_producer,
-                  runs=1, seed=seed, testbed=testbed, jobs=jobs)
+                  runs=1, seed=seed, testbed=testbed, jobs=jobs, policy=policy)
 
 
 def ablation_proxy_connections(*, workload: str = "Dstream",
                                consumer_counts: Iterable[int] = (1, 4, 16),
                                messages_per_producer: int = 15, seed: int = 1,
                                testbed: Optional[TestbedConfig] = None,
-                               jobs: Optional[int] = None) -> SweepResult:
+                               jobs: Optional[int] = None,
+                               policy: Optional[ExecutionPolicy] = None
+                               ) -> SweepResult:
     """Number of parallel connections to the PRS proxies (1 vs 4)."""
     return _sweep(workload, "work_sharing",
                   ["PRS(HAProxy)", "PRS(HAProxy,4conns)"],
                   consumer_counts, messages_per_producer=messages_per_producer,
-                  runs=1, seed=seed, testbed=testbed, jobs=jobs)
+                  runs=1, seed=seed, testbed=testbed, jobs=jobs, policy=policy)
 
 
 def ablation_mss_lb_bypass(*, workload: str = "Dstream",
                            consumer_counts: Iterable[int] = (4, 16, 64),
                            messages_per_producer: int = 15, seed: int = 1,
                            testbed: Optional[TestbedConfig] = None,
-                           jobs: Optional[int] = None) -> SweepResult:
+                           jobs: Optional[int] = None,
+                           policy: Optional[ExecutionPolicy] = None
+                           ) -> SweepResult:
     """§6 improvement: internal consumers bypass the MSS load balancer."""
     return _sweep(workload, "work_sharing", ["MSS", "MSS(bypass)"],
                   consumer_counts, messages_per_producer=messages_per_producer,
-                  runs=1, seed=seed, testbed=testbed, jobs=jobs)
+                  runs=1, seed=seed, testbed=testbed, jobs=jobs, policy=policy)
 
 
 def ablation_link_speed(*, workload: str = "Lstream",
                         consumers: int = 16,
                         messages_per_producer: int = 10, seed: int = 1,
                         speeds_gbps: Sequence[float] = (1, 10, 100),
-                        jobs: Optional[int] = None) -> list[dict]:
+                        jobs: Optional[int] = None,
+                        policy: Optional[ExecutionPolicy] = None) -> list[dict]:
     """§6: what the 100 Gbps interfaces would buy each architecture."""
     scenarios = ScenarioSet()
     for speed in speeds_gbps:
@@ -421,7 +438,8 @@ def ablation_link_speed(*, workload: str = "Lstream",
              "architecture": outcome.point.label,
              "consumers": consumers,
              "throughput_msgs_per_s": outcome.result.throughput_msgs_per_s}
-            for outcome in run_scenarios(scenarios, jobs=jobs)]
+            for outcome in run_scenarios(scenarios, jobs=jobs, policy=policy)
+            if outcome.ok]
 
 
 def ablation_work_queue_count(*, workload: str = "Dstream",
@@ -429,7 +447,9 @@ def ablation_work_queue_count(*, workload: str = "Dstream",
                               queue_counts: Sequence[int] = (1, 2, 4),
                               messages_per_producer: int = 20,
                               seed: int = 1,
-                              jobs: Optional[int] = None) -> list[dict]:
+                              jobs: Optional[int] = None,
+                              policy: Optional[ExecutionPolicy] = None
+                              ) -> list[dict]:
     """§5.2: the two-shared-work-queues choice vs one or four queues."""
     scenarios = ScenarioSet()
     for queue_count in queue_counts:
@@ -443,7 +463,8 @@ def ablation_work_queue_count(*, workload: str = "Dstream",
     return [{"work_queues": outcome.point.axes["work_queues"],
              "consumers": consumers,
              "throughput_msgs_per_s": outcome.result.throughput_msgs_per_s}
-            for outcome in run_scenarios(scenarios, jobs=jobs)]
+            for outcome in run_scenarios(scenarios, jobs=jobs, policy=policy)
+            if outcome.ok]
 
 
 def ablation_network_layer_forwarding(*, workload: str = "Dstream",
@@ -451,9 +472,10 @@ def ablation_network_layer_forwarding(*, workload: str = "Dstream",
                                       messages_per_producer: int = 15,
                                       seed: int = 1,
                                       testbed: Optional[TestbedConfig] = None,
-                                      jobs: Optional[int] = None
+                                      jobs: Optional[int] = None,
+                                      policy: Optional[ExecutionPolicy] = None
                                       ) -> SweepResult:
     """§6 future work: network-layer forwarding (EJFAT-style) vs DTS/PRS."""
     return _sweep(workload, "work_sharing", ["DTS", "NLF", "PRS(HAProxy)"],
                   consumer_counts, messages_per_producer=messages_per_producer,
-                  runs=1, seed=seed, testbed=testbed, jobs=jobs)
+                  runs=1, seed=seed, testbed=testbed, jobs=jobs, policy=policy)

@@ -16,8 +16,10 @@ from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 from ..architectures import DeploymentReport, TestbedConfig
 from ..harness import (
     ExecutionBackend,
+    ExecutionPolicy,
     ExperimentConfig,
     ExperimentResult,
+    PointFailure,
     ScenarioSet,
     run_scenarios,
 )
@@ -44,6 +46,8 @@ class ComparisonResult:
     config: ExperimentConfig
     results: dict[str, ExperimentResult] = field(default_factory=dict)
     baseline: str = BASELINE_ARCHITECTURE
+    #: Architectures whose point exhausted the execution policy's attempts.
+    failures: list[PointFailure] = field(default_factory=list)
 
     def throughput_overheads(self) -> list[OverheadResult]:
         values = {label: result.throughput_msgs_per_s
@@ -87,13 +91,17 @@ def compare_architectures(*, workload: str = "Dstream",
                           jobs: Optional[int] = None,
                           backend: Optional[ExecutionBackend] = None,
                           cache: Optional["ResultCache"] = None,
+                          policy: Optional[ExecutionPolicy] = None,
                           **config_overrides) -> ComparisonResult:
     """Run the same scenario through several architectures and compare.
 
     Returns a :class:`ComparisonResult` whose ``results`` map architecture
     labels to averaged :class:`~repro.harness.results.ExperimentResult`.
     ``jobs > 1`` runs the architectures in parallel through the unified
-    scenario runner; results are identical to serial execution.
+    scenario runner; results are identical to serial execution.  ``policy``
+    adds per-point timeout/retry handling; with ``on_error="record"`` a
+    crashed architecture lands in ``ComparisonResult.failures`` instead of
+    aborting the comparison.
     """
     if pattern in ("broadcast", "broadcast_gather"):
         producer_count = 1
@@ -117,7 +125,12 @@ def compare_architectures(*, workload: str = "Dstream",
     scenarios = ScenarioSet.grid(config, architectures=list(architectures),
                                  equal_producers=False)
     for outcome in run_scenarios(scenarios, jobs=jobs, backend=backend,
-                                 cache=cache):
+                                 cache=cache, policy=policy):
+        if not outcome.ok:
+            comparison.failures.append(PointFailure(
+                label=outcome.point.label, axes=dict(outcome.point.axes),
+                error=outcome.error or "", attempts=outcome.attempts))
+            continue
         comparison.results[outcome.point.label] = outcome.result
     return comparison
 
@@ -125,17 +138,22 @@ def compare_architectures(*, workload: str = "Dstream",
 def deployment_comparison(architectures: Iterable[str] = PAPER_ARCHITECTURES, *,
                           testbed_config: Optional[TestbedConfig] = None,
                           jobs: Optional[int] = None,
-                          backend: Optional[ExecutionBackend] = None
+                          backend: Optional[ExecutionBackend] = None,
+                          policy: Optional[ExecutionPolicy] = None
                           ) -> dict[str, DeploymentReport]:
     """Deploy each architecture (control plane only) and report feasibility.
 
     This regenerates the qualitative §2/§6 comparison — hop counts, firewall
     rules, exposed ports, administrative and user steps — from real deployed
     objects rather than prose.  Each architecture deploys on its own testbed
-    with a distinct derived seed so the placements are independent.
+    with a distinct derived seed so the placements are independent.  Under a
+    non-raising ``policy`` a crashed deployment is simply absent from the
+    returned mapping.
     """
     config = testbed_config or TestbedConfig(producer_nodes=2, consumer_nodes=2)
     base = ExperimentConfig(testbed=config, seed=config.seed)
     scenarios = ScenarioSet.deployments(list(architectures), base)
     return {outcome.point.label: outcome.result
-            for outcome in run_scenarios(scenarios, jobs=jobs, backend=backend)}
+            for outcome in run_scenarios(scenarios, jobs=jobs, backend=backend,
+                                         policy=policy)
+            if outcome.ok}

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Iterable, Optional, Sequence
 
 from ..architectures import TestbedConfig
+from ..harness import ExecutionPolicy
 from ..metrics import format_table
 from ..workloads import WORKLOADS
 from .study import PAPER_ARCHITECTURES, deployment_comparison
@@ -74,23 +75,26 @@ def table1_text() -> str:
 def architecture_comparison_rows(
         architectures: Sequence[str] = ("DTS", "PRS(HAProxy)", "MSS"), *,
         testbed_config: Optional[TestbedConfig] = None,
-        jobs: Optional[int] = None) -> list[dict]:
+        jobs: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None) -> list[dict]:
     """Qualitative architecture comparison derived from real deployments.
 
     The deployments run through the unified scenario runner, so ``jobs > 1``
-    deploys the architectures in parallel.
+    deploys the architectures in parallel; ``policy`` adds per-deployment
+    timeout/retry handling.
     """
     reports = deployment_comparison(architectures, testbed_config=testbed_config,
-                                    jobs=jobs)
+                                    jobs=jobs, policy=policy)
     return [report.as_row() for report in reports.values()]
 
 
 def architecture_comparison_text(
         architectures: Sequence[str] = ("DTS", "PRS(HAProxy)", "MSS"), *,
         testbed_config: Optional[TestbedConfig] = None,
-        jobs: Optional[int] = None) -> str:
+        jobs: Optional[int] = None,
+        policy: Optional[ExecutionPolicy] = None) -> str:
     rows = architecture_comparison_rows(architectures,
                                         testbed_config=testbed_config,
-                                        jobs=jobs)
+                                        jobs=jobs, policy=policy)
     return format_table(rows, title="Architecture deployment comparison "
                                     "(derived from deployed objects)")

@@ -7,14 +7,17 @@ unified scenario runner in :mod:`repro.harness.runner`; pass ``jobs=N`` to
 any of them to fan the points out over a process pool.
 """
 
-from .cache import ResultCache
+from .cache import ResultCache, code_fingerprint
 from .config import PATTERN_NAMES, ExperimentConfig
 from .coordinator import Coordinator
 from .experiment import Experiment, run_experiment
-from .results import ExperimentResult, RunResult
+from .results import ExperimentResult, PointFailure, RunResult
 from .runner import (
+    ON_ERROR_MODES,
     ExecutionBackend,
+    ExecutionPolicy,
     PointOutcome,
+    PointTimeout,
     ProcessPoolBackend,
     ScenarioError,
     ScenarioPoint,
@@ -33,6 +36,7 @@ __all__ = [
     "run_experiment",
     "RunResult",
     "ExperimentResult",
+    "PointFailure",
     "ConsumerSweep",
     "SweepResult",
     "PAPER_CONSUMER_COUNTS",
@@ -40,10 +44,14 @@ __all__ = [
     "ScenarioSet",
     "PointOutcome",
     "ScenarioError",
+    "PointTimeout",
+    "ExecutionPolicy",
+    "ON_ERROR_MODES",
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
     "resolve_backend",
     "run_scenarios",
     "ResultCache",
+    "code_fingerprint",
 ]

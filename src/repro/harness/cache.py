@@ -2,63 +2,181 @@
 
 Format: one JSON file, ``{"version": 1, "entries": {<key>: <entry>}}``,
 where ``<key>`` is :meth:`ScenarioPoint.cache_key` (a content hash of the
-point's config and kind) and ``<entry>`` holds the point description plus
-the :meth:`~repro.harness.results.ExperimentResult.to_json_dict` payload.
+point's config and kind) and ``<entry>`` holds the point description, a
+*code fingerprint* (see :func:`code_fingerprint`) and the
+:meth:`~repro.harness.results.ExperimentResult.to_json_dict` payload.
 Figure regeneration passes the same cache file back in and every
 already-computed point is loaded instead of re-simulated, so e.g.
 ``repro-streamsim figure fig5 --cache fig.json`` after ``fig6 --cache
 fig.json`` only runs the points fig6 did not cover.
+
+Version awareness: every entry records the fingerprint of the ``repro``
+source tree that produced it.  An entry whose fingerprint no longer matches
+the running code is treated as a miss and evicted (its result may reflect
+old simulation semantics); pass ``allow_stale=True`` (CLI:
+``--allow-stale``) to serve such entries anyway.
+
+Robustness: a corrupt or truncated cache file (interrupted write, disk
+full, hand editing) is quarantined to ``<path>.corrupt[-N]`` with a warning
+and the cache starts empty, instead of crashing the sweep that tried to use
+it.  A file whose declared format version is unknown still raises — that is
+a deliberate mismatch, not corruption.
+
+Results are also persisted *incrementally* while a sweep runs (see
+``run_scenarios``): :meth:`ResultCache.maybe_save` flushes to disk every
+``autosave_interval`` stores, so killing a long parallel sweep midway
+leaves its completed points reusable.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import time
+import warnings
 from typing import Optional
 
+from .._version import __version__
 from .results import ExperimentResult
 from .runner import ScenarioPoint
 
-__all__ = ["ResultCache", "CACHE_VERSION"]
+__all__ = ["ResultCache", "CACHE_VERSION", "code_fingerprint"]
 
 CACHE_VERSION = 1
+
+_fingerprint: Optional[str] = None
+
+
+def code_fingerprint() -> str:
+    """Hash of the ``repro`` package source plus its version string.
+
+    Computed once per process by walking every ``.py`` file under the
+    installed ``repro`` package in a deterministic order.  Any source edit
+    or version bump changes the fingerprint, which is what invalidates
+    cache entries written by older code.
+    """
+    global _fingerprint
+    if _fingerprint is None:
+        package_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        digest = hashlib.sha256()
+        digest.update(__version__.encode())
+        for dirpath, dirnames, filenames in os.walk(package_root):
+            dirnames[:] = sorted(d for d in dirnames if d != "__pycache__")
+            for name in sorted(filenames):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(dirpath, name)
+                digest.update(os.path.relpath(path, package_root).encode())
+                digest.update(b"\0")
+                with open(path, "rb") as handle:
+                    digest.update(handle.read())
+                digest.update(b"\0")
+        _fingerprint = digest.hexdigest()[:16]
+    return _fingerprint
+
+
+def _quarantine_path(path: str) -> str:
+    candidate = f"{path}.corrupt"
+    counter = 1
+    while os.path.exists(candidate):
+        candidate = f"{path}.corrupt-{counter}"
+        counter += 1
+    return candidate
 
 
 class ResultCache:
     """A dict of experiment results keyed by scenario content hash."""
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, *, allow_stale: bool = False,
+                 autosave_interval: int = 1,
+                 autosave_min_s: float = 1.0) -> None:
         self.path = path
+        self.allow_stale = allow_stale
+        self.autosave_interval = max(1, autosave_interval)
+        #: Wall-clock throttle between autosaves.  Each save rewrites the
+        #: whole file, so per-point saving would cost O(N^2) serialization
+        #: over a long sweep; throttling bounds a kill's losses to about
+        #: this much completed work instead.
+        self.autosave_min_s = autosave_min_s
         self._entries: dict[str, dict] = {}
         self._dirty = False
+        self._stores_since_save = 0
+        self._last_autosave = 0.0
+        #: Entries evicted because their code fingerprint went stale.
+        self.stale_evicted = 0
         if os.path.exists(path):
+            payload = self._load_payload(path)
+            if payload is not None:
+                if payload.get("version") != CACHE_VERSION:
+                    raise ValueError(
+                        f"result cache {path!r} has version "
+                        f"{payload.get('version')!r}; expected {CACHE_VERSION}")
+                self._entries = dict(payload.get("entries", {}))
+
+    @staticmethod
+    def _load_payload(path: str) -> Optional[dict]:
+        """Parse the cache file; quarantine and warn instead of raising on
+        a corrupt/truncated file (returns None so the cache starts empty)."""
+        try:
             with open(path, encoding="utf-8") as handle:
                 payload = json.load(handle)
-            if payload.get("version") != CACHE_VERSION:
-                raise ValueError(
-                    f"result cache {path!r} has version "
-                    f"{payload.get('version')!r}; expected {CACHE_VERSION}")
-            self._entries = dict(payload.get("entries", {}))
+            if not isinstance(payload, dict):
+                raise ValueError(f"top-level JSON value is "
+                                 f"{type(payload).__name__}, not an object")
+        except (json.JSONDecodeError, UnicodeDecodeError, ValueError) as exc:
+            quarantined = _quarantine_path(path)
+            os.replace(path, quarantined)
+            warnings.warn(
+                f"result cache {path!r} is corrupt ({exc}); moved it to "
+                f"{quarantined!r} and starting with an empty cache",
+                RuntimeWarning, stacklevel=3)
+            return None
+        return payload
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, point: ScenarioPoint) -> bool:
-        return point.cache_key() in self._entries
-
-    def load(self, point: ScenarioPoint) -> Optional[ExperimentResult]:
-        """The cached result for ``point``, or ``None`` on a miss."""
         entry = self._entries.get(point.cache_key())
         if entry is None:
+            return False
+        return self.allow_stale or entry.get("fingerprint") == code_fingerprint()
+
+    def load(self, point: ScenarioPoint) -> Optional[ExperimentResult]:
+        """The cached result for ``point``, or ``None`` on a miss.
+
+        An entry written by a different version of the ``repro`` source is
+        stale: it is evicted and reported as a miss (so the point gets
+        recomputed), unless the cache was opened with ``allow_stale=True``.
+        """
+        key = point.cache_key()
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if not self.allow_stale and entry.get("fingerprint") != code_fingerprint():
+            del self._entries[key]
+            self.stale_evicted += 1
+            self._dirty = True
             return None
         return ExperimentResult.from_json_dict(entry["result"])
 
     def store(self, point: ScenarioPoint, result: ExperimentResult) -> None:
         self._entries[point.cache_key()] = {
             "point": point.describe(),
+            "fingerprint": code_fingerprint(),
             "result": result.to_json_dict(),
         }
         self._dirty = True
+        self._stores_since_save += 1
+
+    def maybe_save(self) -> None:
+        """Flush to disk if enough stores *and* wall clock have accumulated
+        (``autosave_interval`` / ``autosave_min_s``); :meth:`save` at the end
+        of a run is unconditional."""
+        if (self._stores_since_save >= self.autosave_interval
+                and time.monotonic() - self._last_autosave >= self.autosave_min_s):
+            self.save()
 
     def save(self) -> None:
         """Write the cache back to disk (atomically) if anything changed."""
@@ -70,3 +188,5 @@ class ResultCache:
             json.dump(payload, handle)
         os.replace(tmp_path, self.path)
         self._dirty = False
+        self._stores_since_save = 0
+        self._last_autosave = time.monotonic()

@@ -18,7 +18,29 @@ import numpy as np
 
 from ..metrics import RTTResult, ThroughputResult, compute_rtt
 
-__all__ = ["RunResult", "ExperimentResult"]
+__all__ = ["RunResult", "ExperimentResult", "PointFailure"]
+
+
+@dataclass
+class PointFailure:
+    """A scenario point that exhausted its execution policy's attempts.
+
+    Sweeps and comparisons collect these under ``on_error="record"`` so the
+    failure (label, axes, traceback, attempt count) survives being dropped
+    from the result grids; ``on_error="skip"`` discards failed points
+    before any sweep sees them.
+    """
+
+    label: str
+    axes: dict = field(default_factory=dict)
+    #: Worker traceback text from the last attempt.
+    error: str = ""
+    attempts: int = 1
+
+    def as_row(self) -> dict:
+        last_line = self.error.strip().splitlines()[-1] if self.error else ""
+        return {"architecture": self.label, **self.axes,
+                "attempts": self.attempts, "error": last_line}
 
 
 @dataclass

@@ -31,6 +31,9 @@ import hashlib
 import json
 import multiprocessing
 import os
+import signal
+import threading
+import time
 import traceback
 from dataclasses import dataclass, field, replace
 from typing import (
@@ -58,6 +61,9 @@ __all__ = [
     "ScenarioSet",
     "PointOutcome",
     "ScenarioError",
+    "PointTimeout",
+    "ExecutionPolicy",
+    "ON_ERROR_MODES",
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
@@ -77,9 +83,67 @@ class ScenarioError(RuntimeError):
     way: the first failing point in submission order wins.
     """
 
-    def __init__(self, label: str, message: str) -> None:
-        super().__init__(f"scenario point {label!r} failed: {message}")
+    def __init__(self, label: str, message: str, attempts: int = 1) -> None:
+        noun = "attempt" if attempts == 1 else "attempts"
+        super().__init__(f"scenario point {label!r} failed "
+                         f"after {attempts} {noun}: {message}")
         self.label = label
+        self.attempts = attempts
+
+
+class PointTimeout(Exception):
+    """A scenario point exceeded its :class:`ExecutionPolicy` timeout."""
+
+
+#: Failure-handling modes understood by :class:`ExecutionPolicy`.
+ON_ERROR_MODES = ("raise", "skip", "record")
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Per-point fault-tolerance policy, enforced inside the worker.
+
+    The policy is picklable and travels with each point across the process
+    boundary, so :class:`SerialBackend` and :class:`ProcessPoolBackend`
+    enforce it identically:
+
+    * ``timeout_s`` — wall-clock budget for one attempt.  A point that
+      exceeds it is interrupted with :class:`PointTimeout` (via
+      ``SIGALRM``; enforcement is skipped when the platform has no alarm
+      signal or the attempt runs outside the process's main thread).
+    * ``retries`` — extra attempts after the first failure or timeout.
+      Every attempt calls :func:`execute_point` afresh, and every
+      simulation derives all of its randomness from the point's config, so
+      a retried point is bit-identical to one that succeeded first try.
+    * ``backoff_s`` — linear backoff: attempt *n* (1-based) waits
+      ``backoff_s * n`` seconds before retrying.
+    * ``on_error`` — what :func:`run_scenarios` does with a point whose
+      attempts are exhausted: ``"raise"`` (the default, and the historical
+      behavior) raises :class:`ScenarioError`, ``"skip"`` drops the point
+      from the outcomes (submission order of the survivors is preserved),
+      ``"record"`` returns a failed :class:`PointOutcome` (``result is
+      None``, ``error`` holds the worker traceback).
+    """
+
+    timeout_s: Optional[float] = None
+    retries: int = 0
+    backoff_s: float = 0.0
+    on_error: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None)")
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        if self.backoff_s < 0:
+            raise ValueError("backoff_s must be >= 0")
+        if self.on_error not in ON_ERROR_MODES:
+            raise ValueError(f"unknown on_error mode {self.on_error!r}; "
+                             f"expected one of {ON_ERROR_MODES}")
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retries + 1
 
 
 @dataclass
@@ -121,14 +185,28 @@ class ScenarioPoint:
 
 @dataclass
 class PointOutcome:
-    """A scenario point paired with whatever it produced."""
+    """A scenario point paired with whatever it produced.
+
+    Under ``ExecutionPolicy(on_error="record")`` a point whose attempts are
+    exhausted still yields an outcome: ``result`` is ``None`` and ``error``
+    holds the worker's traceback text.  Check :attr:`ok` before touching
+    ``result`` when a policy is in play.
+    """
 
     point: ScenarioPoint
     #: ExperimentResult for "experiment" points, DeploymentReport for
-    #: "deployment" points.
+    #: "deployment" points; None when the point failed (``error`` is set).
     result: Any
     #: True when the result came from a ResultCache instead of a simulation.
     cached: bool = False
+    #: Worker traceback text when the point exhausted its attempts.
+    error: Optional[str] = None
+    #: How many attempts the point took (1 on first-try success or cache hit).
+    attempts: int = 1
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 class ScenarioSet:
@@ -244,39 +322,101 @@ def execute_point(point: ScenarioPoint) -> Any:
     return Experiment(point.config).run()
 
 
-def _execute_indexed(item: tuple[int, ScenarioPoint]) -> tuple[int, bool, Any]:
-    """Pool worker: never lets an exception escape (it would lose ordering);
-    failures travel back as (index, False, traceback-text) and are re-raised
-    by the parent in submission order with the worker's full traceback."""
-    index, point = item
+def _call_with_timeout(point: ScenarioPoint,
+                       timeout_s: Optional[float]) -> Any:
+    """Run one attempt, interrupted by SIGALRM once ``timeout_s`` elapses.
+
+    Alarm-based enforcement needs the process's main thread and a platform
+    with ``SIGALRM`` (pool workers and the serial backend both qualify on
+    POSIX); anywhere else the attempt runs unbounded rather than crashing.
+    """
+    if (timeout_s is None or not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        return execute_point(point)
+
+    running = True
+
+    def _on_alarm(signum, frame):
+        # The alarm can fire in the gap between execute_point returning and
+        # the timer being cleared below; a completed attempt must not be
+        # reclassified as a timeout.
+        if running:
+            raise PointTimeout(
+                f"scenario point {point.label!r} exceeded {timeout_s}s")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
     try:
-        return index, True, execute_point(point)
-    except Exception:  # noqa: BLE001 - reported in the parent
-        return index, False, traceback.format_exc()
+        result = execute_point(point)
+        running = False
+        return result
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _attempt_point(point: ScenarioPoint,
+                   policy: Optional[ExecutionPolicy]
+                   ) -> tuple[bool, Any, int]:
+    """Run a point under a policy: (ok, result-or-traceback, attempts)."""
+    max_attempts = policy.max_attempts if policy is not None else 1
+    timeout_s = policy.timeout_s if policy is not None else None
+    last_failure = ""
+    for attempt in range(1, max_attempts + 1):
+        if attempt > 1 and policy is not None and policy.backoff_s:
+            time.sleep(policy.backoff_s * (attempt - 1))
+        try:
+            return True, _call_with_timeout(point, timeout_s), attempt
+        except Exception:  # noqa: BLE001 - reported to the parent
+            last_failure = traceback.format_exc()
+    return False, last_failure, max_attempts
+
+
+def _execute_indexed(
+        item: tuple[int, ScenarioPoint, Optional[ExecutionPolicy]]
+        ) -> tuple[int, bool, Any, int]:
+    """Pool worker: never lets an exception escape (it would lose ordering);
+    failures travel back as (index, False, traceback-text, attempts) and are
+    handled by the parent in submission order per the policy's on_error."""
+    index, point, policy = item
+    ok, value, attempts = _attempt_point(point, policy)
+    return index, ok, value, attempts
 
 
 # ---------------------------------------------------------------------------
 # Backends
 # ---------------------------------------------------------------------------
 
+#: Per-completed-point callback: (index-into-submitted-points, ok, value,
+#: attempts), invoked in *completion* order in the parent process.
+ResultCallback = Callable[[int, bool, Any, int], None]
+
+
 @runtime_checkable
 class ExecutionBackend(Protocol):
     """How a list of scenario points gets executed.
 
-    ``run`` returns one ``(ok, value)`` pair per point, *in point order*;
-    ``value`` is the point's result when ``ok`` is true and the worker's
-    traceback text otherwise.  Implementations must preserve ordering — the
-    reassembly code in sweeps and figures depends on it.
+    ``run`` returns one ``(ok, value, attempts)`` triple per point, *in
+    point order*; ``value`` is the point's result when ``ok`` is true and
+    the worker's traceback text otherwise.  Implementations must preserve
+    ordering — the reassembly code in sweeps and figures depends on it.
+    ``policy`` (an :class:`ExecutionPolicy`) governs per-point timeout and
+    retries inside the worker.
 
     ``progress`` timing is backend-defined: the serial backend calls it just
     before each point starts (submission order); the process pool calls it
-    as each point completes (completion order).  Callbacks must not rely on
-    either timing for correctness.
+    as each point completes (completion order).  ``on_result`` fires in the
+    parent process as each point finishes (completion order) — it is how
+    :func:`run_scenarios` persists results incrementally, so a killed sweep
+    leaves its completed points on disk.  Callbacks must not rely on either
+    timing for correctness.
     """
 
     def run(self, points: Sequence[ScenarioPoint],
-            progress: Optional[Callable[[ScenarioPoint], None]] = None
-            ) -> list[tuple[bool, Any]]:
+            progress: Optional[Callable[[ScenarioPoint], None]] = None, *,
+            policy: Optional[ExecutionPolicy] = None,
+            on_result: Optional[ResultCallback] = None
+            ) -> list[tuple[bool, Any, int]]:
         ...  # pragma: no cover - protocol
 
 
@@ -284,14 +424,18 @@ class SerialBackend:
     """Reference backend: run every point in-process, one after another."""
 
     def run(self, points: Sequence[ScenarioPoint],
-            progress: Optional[Callable[[ScenarioPoint], None]] = None
-            ) -> list[tuple[bool, Any]]:
-        outcomes: list[tuple[bool, Any]] = []
-        for point in points:
+            progress: Optional[Callable[[ScenarioPoint], None]] = None, *,
+            policy: Optional[ExecutionPolicy] = None,
+            on_result: Optional[ResultCallback] = None
+            ) -> list[tuple[bool, Any, int]]:
+        outcomes: list[tuple[bool, Any, int]] = []
+        for index, point in enumerate(points):
             if progress is not None:
                 progress(point)
-            index, ok, value = _execute_indexed((len(outcomes), point))
-            outcomes.append((ok, value))
+            ok, value, attempts = _attempt_point(point, policy)
+            outcomes.append((ok, value, attempts))
+            if on_result is not None:
+                on_result(index, ok, value, attempts)
         return outcomes
 
 
@@ -318,21 +462,29 @@ class ProcessPoolBackend:
         return max(1, total // (self.jobs * 4) or 1)
 
     def run(self, points: Sequence[ScenarioPoint],
-            progress: Optional[Callable[[ScenarioPoint], None]] = None
-            ) -> list[tuple[bool, Any]]:
+            progress: Optional[Callable[[ScenarioPoint], None]] = None, *,
+            policy: Optional[ExecutionPolicy] = None,
+            on_result: Optional[ResultCallback] = None
+            ) -> list[tuple[bool, Any, int]]:
         if not points:
             return []
         if self.jobs <= 1 or len(points) == 1:
-            return SerialBackend().run(points, progress)
+            return SerialBackend().run(points, progress, policy=policy,
+                                       on_result=on_result)
         context = (multiprocessing.get_context(self.start_method)
                    if self.start_method else multiprocessing.get_context())
-        slots: list[Optional[tuple[bool, Any]]] = [None] * len(points)
+        slots: list[Optional[tuple[bool, Any, int]]] = [None] * len(points)
         with context.Pool(processes=min(self.jobs, len(points))) as pool:
-            indexed = list(enumerate(points))
-            for index, ok, value in pool.imap_unordered(
+            indexed = [(index, point, policy)
+                       for index, point in enumerate(points)]
+            for index, ok, value, attempts in pool.imap_unordered(
                     _execute_indexed, indexed,
                     chunksize=self._chunksize(len(points))):
-                slots[index] = (ok, value)
+                slots[index] = (ok, value, attempts)
+                # Persist before the user callback: a progress hook that
+                # raises (or a Ctrl-C landing there) must not lose results.
+                if on_result is not None:
+                    on_result(index, ok, value, attempts)
                 if progress is not None:
                     progress(points[index])
         return [slot for slot in slots if slot is not None]
@@ -356,18 +508,28 @@ def run_scenarios(scenarios: Iterable[ScenarioPoint], *,
                   backend: Optional[ExecutionBackend] = None,
                   jobs: Optional[int] = None,
                   progress: Optional[Callable[[ScenarioPoint], None]] = None,
-                  cache: Optional["ResultCache"] = None
+                  cache: Optional["ResultCache"] = None,
+                  policy: Optional[ExecutionPolicy] = None
                   ) -> list[PointOutcome]:
     """Execute scenario points and return outcomes in submission order.
 
     ``cache`` (a :class:`~repro.harness.cache.ResultCache`) short-circuits
     points whose results are already on disk and records fresh ones; only
-    "experiment" points are cacheable.  Crashed points raise
-    :class:`ScenarioError` — the first failure in submission order —
-    regardless of backend.
+    "experiment" points are cacheable.  Fresh results are persisted to the
+    cache file *as they complete* (not just at the end), so a sweep killed
+    midway can be resumed from the points already on disk.
+
+    ``policy`` (an :class:`ExecutionPolicy`) adds per-point timeout and
+    retries, and chooses what exhausted points become: with ``on_error=
+    "raise"`` (the default, and the behavior without a policy) the first
+    failure in submission order raises :class:`ScenarioError` regardless of
+    backend; ``"skip"`` drops failed points, keeping the survivors in
+    submission order; ``"record"`` returns them as failed
+    :class:`PointOutcome` objects (``result=None``, ``error`` set).
     """
     points = list(scenarios)
     backend = resolve_backend(backend, jobs)
+    on_error = policy.on_error if policy is not None else "raise"
 
     outcomes: list[Optional[PointOutcome]] = [None] * len(points)
     pending: list[tuple[int, ScenarioPoint]] = []
@@ -381,19 +543,33 @@ def run_scenarios(scenarios: Iterable[ScenarioPoint], *,
             pending.append((index, point))
 
     if pending:
-        executed = backend.run([point for _, point in pending], progress)
-        failure: Optional[ScenarioError] = None
-        # Record every completed result (and persist the cache) before
-        # raising, so one crashed point does not discard the rest of a
-        # long sweep's work.
-        for (index, point), (ok, value) in zip(pending, executed):
-            if not ok:
-                if failure is None:
-                    failure = ScenarioError(point.label, value)
-                continue
-            if cache is not None and point.kind == "experiment":
+        pending_points = [point for _, point in pending]
+
+        def persist(local_index: int, ok: bool, value: Any,
+                    attempts: int) -> None:
+            point = pending_points[local_index]
+            if ok and cache is not None and point.kind == "experiment":
                 cache.store(point, value)
-            outcomes[index] = PointOutcome(point=point, result=value)
+                cache.maybe_save()
+
+        executed = backend.run(pending_points, progress, policy=policy,
+                               on_result=persist if cache is not None
+                               else None)
+        failure: Optional[ScenarioError] = None
+        # Every completed result is already persisted (incrementally, via
+        # the on_result callback), so one crashed point does not discard
+        # the rest of a long sweep's work even under on_error="raise".
+        for (index, point), (ok, value, attempts) in zip(pending, executed):
+            if not ok:
+                if on_error == "record":
+                    outcomes[index] = PointOutcome(
+                        point=point, result=None, error=value,
+                        attempts=attempts)
+                elif on_error == "raise" and failure is None:
+                    failure = ScenarioError(point.label, value, attempts)
+                continue
+            outcomes[index] = PointOutcome(point=point, result=value,
+                                           attempts=attempts)
         if cache is not None:
             cache.save()
         if failure is not None:

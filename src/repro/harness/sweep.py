@@ -13,8 +13,15 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
 from .config import ExperimentConfig
-from .results import ExperimentResult
-from .runner import ExecutionBackend, ScenarioPoint, ScenarioSet, run_scenarios
+from .results import ExperimentResult, PointFailure
+from .runner import (
+    ExecutionBackend,
+    ExecutionPolicy,
+    PointOutcome,
+    ScenarioPoint,
+    ScenarioSet,
+    run_scenarios,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .cache import ResultCache
@@ -34,6 +41,14 @@ class SweepResult:
     consumer_counts: tuple[int, ...]
     #: results[architecture][consumers] -> ExperimentResult
     results: dict[str, dict[int, ExperimentResult]] = field(default_factory=dict)
+    #: Points that exhausted their execution policy under on_error="record"
+    #: (on_error="skip" drops failed points before the sweep sees them).
+    failures: list[PointFailure] = field(default_factory=list)
+
+    def record_failure(self, outcome: PointOutcome) -> None:
+        self.failures.append(PointFailure(
+            label=outcome.point.label, axes=dict(outcome.point.axes),
+            error=outcome.error or "", attempts=outcome.attempts))
 
     def series(self, architecture: str, metric: str = "throughput_msgs_per_s"
                ) -> list[tuple[int, float]]:
@@ -93,12 +108,15 @@ class ConsumerSweep:
     def run(self, *, progress: Optional[Callable[[str, int], None]] = None,
             jobs: Optional[int] = None,
             backend: Optional[ExecutionBackend] = None,
-            cache: Optional["ResultCache"] = None) -> SweepResult:
+            cache: Optional["ResultCache"] = None,
+            policy: Optional[ExecutionPolicy] = None) -> SweepResult:
         """Run every (architecture, consumer-count) point.
 
         ``jobs > 1`` (or an explicit ``backend``) fans the points out over
         the unified scenario runner's process pool; results are identical to
-        serial execution for the same seeds.
+        serial execution for the same seeds.  ``policy`` adds per-point
+        timeout/retry handling; with ``on_error="record"`` a failed point
+        lands in ``SweepResult.failures`` instead of killing the sweep.
         """
         sweep = SweepResult(workload=self.base_config.workload,
                             pattern=self.base_config.pattern,
@@ -111,9 +129,12 @@ class ConsumerSweep:
                 progress(point.label, point.axes["consumers"])
 
         outcomes = run_scenarios(self.scenario_set(), jobs=jobs,
-                                 backend=backend, cache=cache,
+                                 backend=backend, cache=cache, policy=policy,
                                  progress=point_progress)
         for outcome in outcomes:
+            if not outcome.ok:
+                sweep.record_failure(outcome)
+                continue
             point = outcome.point
             sweep.results[point.label][point.axes["consumers"]] = outcome.result
         return sweep

@@ -48,12 +48,16 @@ def summarize(values: Iterable[float]) -> SummaryStats:
     if array.size == 0:
         nan = float("nan")
         return SummaryStats(0, nan, nan, nan, nan, nan, nan, nan, nan)
+    minimum = float(np.min(array))
+    maximum = float(np.max(array))
     return SummaryStats(
         count=int(array.size),
-        mean=float(np.mean(array)),
+        # Pairwise summation can land 1 ULP outside the sample range;
+        # clamp so min <= mean <= max always holds.
+        mean=float(min(max(np.mean(array), minimum), maximum)),
         median=float(np.median(array)),
-        minimum=float(np.min(array)),
-        maximum=float(np.max(array)),
+        minimum=minimum,
+        maximum=maximum,
         p10=float(np.percentile(array, 10)),
         p90=float(np.percentile(array, 90)),
         p99=float(np.percentile(array, 99)),

@@ -1,0 +1,75 @@
+"""Cross-backend determinism matrix.
+
+Every ScenarioSet constructor (grid, consumer_sweep, deployments), run under
+SerialBackend and ProcessPoolBackend(jobs=2), must produce byte-identical
+JSON payloads: each simulation derives all of its randomness from the
+point's config, never from process or scheduling state.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.architectures import TestbedConfig
+from repro.harness import (
+    ExperimentConfig,
+    ProcessPoolBackend,
+    ScenarioSet,
+    SerialBackend,
+    run_scenarios,
+)
+
+
+def tiny_config(**overrides):
+    params = dict(
+        architecture="DTS",
+        workload="Dstream",
+        pattern="work_sharing",
+        num_producers=2,
+        num_consumers=2,
+        messages_per_producer=4,
+        max_sim_time_s=120.0,
+        testbed=TestbedConfig(producer_nodes=4, consumer_nodes=4),
+    )
+    params.update(overrides)
+    return ExperimentConfig(**params)
+
+
+def _scenario_sets():
+    base = tiny_config()
+    return {
+        "grid": ScenarioSet.grid(
+            base, architectures=["DTS", "MSS"],
+            workloads=["Dstream", "Lstream"], seeds=[1, 2]),
+        "consumer_sweep": ScenarioSet.consumer_sweep(
+            base, architectures=["DTS", "PRS(HAProxy)"],
+            consumer_counts=[1, 2, 4]),
+        "deployments": ScenarioSet.deployments(
+            ["DTS", "PRS(HAProxy)", "MSS"], base),
+    }
+
+
+def _payloads(outcomes) -> list[str]:
+    payloads = []
+    for outcome in outcomes:
+        if outcome.point.kind == "deployment":
+            payloads.append(json.dumps(outcome.result.as_row(),
+                                       sort_keys=True, default=str))
+        else:
+            payloads.append(json.dumps(outcome.result.to_json_dict(),
+                                       sort_keys=True))
+    return payloads
+
+
+@pytest.mark.parametrize("constructor", ["grid", "consumer_sweep",
+                                         "deployments"])
+def test_pool_payloads_byte_identical_to_serial(constructor):
+    scenarios = _scenario_sets()[constructor]
+    serial = run_scenarios(scenarios, backend=SerialBackend())
+    pooled = run_scenarios(scenarios, backend=ProcessPoolBackend(2))
+    assert _payloads(serial) == _payloads(pooled)
+    # Ordering survives the pool's out-of-order completion too.
+    assert ([o.point.cache_key() for o in serial]
+            == [o.point.cache_key() for o in pooled])
