@@ -8,7 +8,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Line-coverage floor enforced by `make coverage` over the execution engine.
 COVERAGE_FLOOR ?= 85
 
-.PHONY: test bench-smoke bench check coverage example
+.PHONY: test bench-smoke bench check coverage example sensitivity-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -19,7 +19,19 @@ bench-smoke:
 bench:
 	$(PYTHON) -m pytest benchmarks -q --benchmark-only
 
-check: test bench-smoke
+# Fast end-to-end smoke for the sensitivity pipeline: a 2-point bandwidth
+# sweep through the process pool and the sharded result cache.
+SMOKE_CACHE := .sensitivity-smoke-cache
+sensitivity-smoke:
+	@rm -rf $(SMOKE_CACHE)
+	$(PYTHON) -m repro.cli sensitivity \
+		--axis testbed.link_bandwidth_bps=1e9,100e9 \
+		--axis testbed.producer_nodes=4 --axis testbed.consumer_nodes=4 \
+		--architectures DTS --consumers 2 --messages 4 \
+		--jobs 2 --cache $(SMOKE_CACHE)
+	@rm -rf $(SMOKE_CACHE)
+
+check: test bench-smoke sensitivity-smoke
 
 # Coverage gate over the harness (runner/cache/sweep/policy are the layers
 # fault-tolerance lives in).  Skips gracefully where pytest-cov is absent —

@@ -11,6 +11,7 @@ from .client import ConsumerClient, ProducerClient
 from .cluster import BrokerCluster
 from .exchange import Binding, Exchange, ExchangeType
 from .policies import (
+    ACK_MODES,
     DEFAULT_ACK_POLICY,
     DEFAULT_MEMORY_POLICY,
     DEFAULT_QUEUE_POLICY,
@@ -33,6 +34,7 @@ __all__ = [
     "ConsumerHandle",
     "PublishOutcome",
     "AckPolicy",
+    "ACK_MODES",
     "MemoryPolicy",
     "OverflowPolicy",
     "QueuePolicy",

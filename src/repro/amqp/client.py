@@ -98,8 +98,8 @@ class ProducerClient:
         self.published += 1
         self.monitor.count("published")
         self._unconfirmed += 1
-        if (self.ack_policy.publisher_batch
-                and self._unconfirmed >= self.ack_policy.publisher_batch):
+        if (self.ack_policy.effective_publisher_batch
+                and self._unconfirmed >= self.ack_policy.effective_publisher_batch):
             # Wait for the cumulative publisher confirm round trip.
             yield self.env.timeout(_path_rtt(self.connection))
             self._unconfirmed = 0
@@ -108,7 +108,7 @@ class ProducerClient:
 
     def flush_confirms(self) -> Generator:
         """Wait for confirms of any trailing unconfirmed messages."""
-        if self._unconfirmed:
+        if self._unconfirmed and self.ack_policy.mode != "fire_and_forget":
             yield self.env.timeout(_path_rtt(self.connection))
             self._unconfirmed = 0
             self.monitor.count("confirm_batches")
@@ -175,7 +175,7 @@ class ConsumerClient:
             return 0
         pending = self._pending_acks.setdefault(queue_name, [])
         pending.append(delivery_tag)
-        if len(pending) < max(1, self.ack_policy.consumer_batch):
+        if len(pending) < max(1, self.ack_policy.effective_consumer_batch):
             return 0
         settled = yield from self._send_ack(queue_name, max(pending))
         pending.clear()

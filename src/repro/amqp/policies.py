@@ -20,6 +20,7 @@ __all__ = [
     "QueuePolicy",
     "MemoryPolicy",
     "AckPolicy",
+    "ACK_MODES",
     "DEFAULT_QUEUE_POLICY",
     "DEFAULT_MEMORY_POLICY",
     "DEFAULT_ACK_POLICY",
@@ -81,16 +82,49 @@ class MemoryPolicy:
         return self.control_bytes if is_control else self.data_bytes
 
 
+#: Acknowledgement modes understood by :class:`AckPolicy`.
+ACK_MODES = ("batch", "per_message", "fire_and_forget")
+
+
 @dataclass(frozen=True)
 class AckPolicy:
-    """Batch acknowledgement settings (§5.2)."""
+    """Batch acknowledgement settings (§5.2).
+
+    ``mode`` selects how the batch sizes are interpreted (a sweepable knob
+    for the ack-policy sensitivity studies):
+
+    * ``"batch"`` — the paper's configuration: batch sizes apply as given.
+    * ``"per_message"`` — every publish waits for its confirm and every
+      delivery is acknowledged individually (effective batches of 1).
+    * ``"fire_and_forget"`` — producers never wait for publisher confirms
+      (effective publisher batch of 0); consumer acks batch as configured.
+    """
 
     #: Consumer sends one cumulative ack per this many deliveries.
     consumer_batch: int = 10
-    #: Producer waits for confirms after this many publishes.
+    #: Producer waits for confirms after this many publishes (0 = never).
     publisher_batch: int = 10
     #: Unlimited prefetch when 0; otherwise max unacked deliveries/consumer.
     prefetch_count: int = 100
+    #: How the batch settings are applied; see the class docstring.
+    mode: str = "batch"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ACK_MODES:
+            raise ValueError(f"unknown ack mode {self.mode!r}; "
+                             f"expected one of {ACK_MODES}")
+
+    @property
+    def effective_consumer_batch(self) -> int:
+        return 1 if self.mode == "per_message" else self.consumer_batch
+
+    @property
+    def effective_publisher_batch(self) -> int:
+        if self.mode == "per_message":
+            return 1
+        if self.mode == "fire_and_forget":
+            return 0
+        return self.publisher_batch
 
 
 DEFAULT_QUEUE_POLICY = QueuePolicy(max_length=10_000)

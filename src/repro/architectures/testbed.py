@@ -22,7 +22,7 @@ differ in how they wire clients onto it:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from ..simkit import Environment, RandomStreams
@@ -106,6 +106,25 @@ class TestbedConfig:
             raise ValueError("dsn_count must be >= 1")
         if self.link_bandwidth_bps <= 0:
             raise ValueError("link bandwidth must be positive")
+        if self.backbone_bandwidth_bps <= 0:
+            raise ValueError("backbone bandwidth must be positive")
+        if self.gateway_bandwidth_bps <= 0:
+            raise ValueError("gateway bandwidth must be positive")
+
+    def with_link_bandwidth(self, bandwidth_bps: float, *,
+                            backbone_factor: float = 2.0,
+                            gateway_factor: float = 1.0) -> "TestbedConfig":
+        """Copy of this config with every link tier rescaled coherently.
+
+        This is how the §6 "what would 100 Gbps interfaces buy" ablation is
+        driven: the access links move to ``bandwidth_bps`` and the backbone
+        and gateway tiers keep their default ratios to it (2x and 1x), so a
+        bandwidth sweep changes the operating point, not the topology shape.
+        """
+        return replace(self,
+                       link_bandwidth_bps=bandwidth_bps,
+                       backbone_bandwidth_bps=backbone_factor * bandwidth_bps,
+                       gateway_bandwidth_bps=gateway_factor * bandwidth_bps)
 
 
 class Testbed:

@@ -8,14 +8,17 @@ Examples::
         --pattern work_sharing_feedback --consumers 8 --messages 50
     repro-streamsim figure fig4 --messages 20 --consumers 1 2 4 8 --jobs 4
     repro-streamsim sweep --workload Lstream --architectures DTS MSS \
-        --consumers 1 2 4 8 --jobs 4 --cache sweep.json
+        --consumers 1 2 4 8 --jobs 4 --cache sweep-cache
+    repro-streamsim sensitivity --axis testbed.link_bandwidth_bps=1e9,10e9,100e9 \
+        --axis testbed.dsn_count=1,3,5 --architectures DTS MSS --jobs 4
     repro-streamsim deployment
 
 Every experiment-running subcommand goes through the unified scenario
 runner: ``--jobs N`` fans the points out over a process pool (results are
 bit-identical to serial for the same seed) and ``--cache PATH`` caches
-per-point results to a JSON file that later invocations reuse (entries
-written by older code are auto-invalidated unless ``--allow-stale``).
+per-point results to a sharded JSON directory that later invocations reuse
+(entries written by older code are auto-invalidated unless
+``--allow-stale``; pre-sharding single-file caches migrate automatically).
 ``--timeout S``, ``--retries N`` and ``--on-error raise|skip|record``
 bound each point's wall-clock time and decide what a point that exhausts
 its attempts becomes.  Every subcommand prints an ASCII table; ``--csv
@@ -36,6 +39,7 @@ from .core import (
     figure6,
     figure7,
     figure8,
+    figure_bandwidth_scaling,
     table1_text,
 )
 from .core.study import PAPER_ARCHITECTURES
@@ -47,6 +51,8 @@ from .harness import (
     ExperimentConfig,
     ResultCache,
     run_experiment,
+    scale_link_tiers,
+    sensitivity_sweep,
 )
 from .metrics import format_table, write_csv
 
@@ -65,6 +71,38 @@ def _non_negative_int(text: str) -> int:
     if value < 0:
         raise argparse.ArgumentTypeError("must be >= 0")
     return value
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _axis_value(token: str):
+    """One axis coordinate: int when it parses, then float, else string."""
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        return token
+
+
+def _axis_spec(text: str) -> tuple[str, list]:
+    """Parse one ``--axis PATH=V1,V2,...`` occurrence."""
+    path, separator, values_text = text.partition("=")
+    path = path.strip()
+    tokens = [token.strip() for token in values_text.split(",")
+              if token.strip()]
+    if not separator or not path or not tokens:
+        raise argparse.ArgumentTypeError(
+            f"expected PATH=V1,V2,... (e.g. testbed.dsn_count=1,3,5), "
+            f"got {text!r}")
+    return path, [_axis_value(token) for token in tokens]
 
 
 def _add_policy_options(subparser: argparse.ArgumentParser) -> None:
@@ -86,13 +124,14 @@ def _add_policy_options(subparser: argparse.ArgumentParser) -> None:
 
 def _add_runner_options(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument(
-        "--jobs", type=int, default=None, metavar="N",
-        help="run scenario points on a process pool of N workers "
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="run scenario points on a process pool of N workers, N >= 1 "
              "(bit-identical to serial execution for the same seed)")
     subparser.add_argument(
         "--cache", default=None, metavar="PATH",
-        help="JSON result cache; already-computed points are reused and "
-             "fresh ones are persisted incrementally as they complete")
+        help="sharded JSON result cache directory; already-computed points "
+             "are reused and fresh ones are persisted incrementally as "
+             "they complete (old single-file caches are migrated)")
     subparser.add_argument(
         "--allow-stale", action="store_true",
         help="serve cache entries written by a different version of the "
@@ -113,8 +152,9 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="print the architecture deployment comparison")
     deployment.add_argument("--architectures", nargs="+",
                             default=["DTS", "PRS(HAProxy)", "MSS"])
-    deployment.add_argument("--jobs", type=int, default=None, metavar="N",
-                            help="deploy architectures in parallel")
+    deployment.add_argument("--jobs", type=_positive_int, default=None,
+                            metavar="N",
+                            help="deploy architectures in parallel (N >= 1)")
     _add_policy_options(deployment)
 
     compare = sub.add_parser("compare", help="compare architectures on one scenario")
@@ -140,11 +180,20 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=1)
     experiment.add_argument("--csv", default=None)
 
-    figure = sub.add_parser("figure", help="regenerate one of the paper's figures")
-    figure.add_argument("name", choices=["fig4", "fig5", "fig6", "fig7", "fig8"])
+    figure = sub.add_parser("figure", help="regenerate one of the paper's "
+                                           "figures (or the §6 bandwidth "
+                                           "ablation)")
+    figure.add_argument("name", choices=["fig4", "fig5", "fig6", "fig7",
+                                         "fig8", "bandwidth"])
     figure.add_argument("--messages", type=int, default=15)
-    figure.add_argument("--consumers", type=int, nargs="+",
-                        default=[1, 2, 4, 8, 16, 32, 64])
+    figure.add_argument("--consumers", type=int, nargs="+", default=None,
+                        help="consumer counts (fig4-8; default 1..64); for "
+                             "the bandwidth figure a single count "
+                             "(default 16)")
+    figure.add_argument("--link-gbps", type=float, nargs="+",
+                        default=[1.0, 10.0, 100.0], dest="link_gbps",
+                        help="access-link speeds swept by the bandwidth "
+                             "figure")
     figure.add_argument("--runs", type=int, default=1)
     figure.add_argument("--seed", type=int, default=1)
     figure.add_argument("--csv", default=None)
@@ -165,6 +214,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="result attribute reported per point")
     sweep.add_argument("--csv", default=None)
     _add_runner_options(sweep)
+
+    sensitivity = sub.add_parser(
+        "sensitivity",
+        help="sweep arbitrary config/testbed axes (dotted paths) around a "
+             "base scenario")
+    sensitivity.add_argument(
+        "--axis", type=_axis_spec, action="append", default=[],
+        metavar="PATH=V1,V2,...",
+        help="one sweep axis: a dotted config path (e.g. "
+             "testbed.link_bandwidth_bps=1e9,100e9, testbed.dsn_count=1,3,5, "
+             "testbed.ack_policy.mode=batch,per_message) or the special "
+             "coordinates architecture=... / consumers=...; repeatable")
+    sensitivity.add_argument(
+        "--architectures", nargs="+", default=None,
+        help="shorthand for an architecture axis (runs the whole grid per "
+             "architecture)")
+    sensitivity.add_argument("--workload", default="Dstream")
+    sensitivity.add_argument("--pattern", default="work_sharing")
+    sensitivity.add_argument("--consumers", type=int, default=4,
+                             help="base consumer count (sweep it via "
+                                  "--axis consumers=...)")
+    sensitivity.add_argument("--messages", type=int, default=20)
+    sensitivity.add_argument("--runs", type=int, default=1)
+    sensitivity.add_argument("--seed", type=int, default=1)
+    sensitivity.add_argument(
+        "--scale-backbone", action="store_true", dest="scale_backbone",
+        help="rescale the backbone/gateway tiers along with a swept "
+             "testbed.link_bandwidth_bps axis (the §6 ablation shape)")
+    sensitivity.add_argument("--metric", default="throughput_msgs_per_s",
+                             help="result attribute reported per point")
+    sensitivity.add_argument("--csv", default=None)
+    _add_runner_options(sensitivity)
 
     return parser
 
@@ -247,15 +328,72 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
-    kwargs = dict(consumer_counts=args.consumers, runs=args.runs, seed=args.seed,
+    shared = dict(runs=args.runs, seed=args.seed,
                   messages_per_producer=args.messages, jobs=args.jobs,
                   cache=_cache_from(args), policy=_policy_from(args))
-    generators = {"fig4": figure4, "fig5": figure5, "fig6": figure6,
-                  "fig7": figure7, "fig8": figure8}
-    data = generators[args.name](**kwargs)
+    if args.name == "bandwidth":
+        consumers = args.consumers[0] if args.consumers else 16
+        data = figure_bandwidth_scaling(consumers=consumers,
+                                        speeds_gbps=args.link_gbps, **shared)
+    else:
+        generators = {"fig4": figure4, "fig5": figure5, "fig6": figure6,
+                      "fig7": figure7, "fig8": figure8}
+        consumer_counts = args.consumers or [1, 2, 4, 8, 16, 32, 64]
+        data = generators[args.name](consumer_counts=consumer_counts,
+                                     **shared)
     _emit(data.rows, title=data.description, csv_path=args.csv)
     for sweep in data.sweeps.values():
         _report_failures(sweep.failures)
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    axes: dict = {}
+    if args.architectures:
+        axes["architecture"] = list(args.architectures)
+    for path, values in args.axis:
+        if path in axes:
+            print(f"error: axis {path!r} given more than once "
+                  f"(merge the values into one --axis)", file=sys.stderr)
+            return 2
+        axes[path] = values
+    if not axes:
+        print("error: no axes to sweep; pass --axis PATH=V1,V2,... "
+              "(and/or --architectures)", file=sys.stderr)
+        return 2
+    transform = None
+    if args.scale_backbone:
+        overridden = {"testbed.backbone_bandwidth_bps",
+                      "testbed.gateway_bandwidth_bps"} & set(axes)
+        if overridden:
+            # The transform would rewrite those tiers on every point,
+            # silently reverting the swept values.
+            print(f"error: --scale-backbone derives "
+                  f"{', '.join(sorted(overridden))} from the access-link "
+                  f"bandwidth; drop the axis or the flag", file=sys.stderr)
+            return 2
+        transform = scale_link_tiers
+    producers = 1 if args.pattern.startswith("broadcast") else args.consumers
+    base = ExperimentConfig(
+        workload=args.workload, pattern=args.pattern,
+        num_producers=producers, num_consumers=args.consumers,
+        messages_per_producer=args.messages, runs=args.runs, seed=args.seed)
+    try:
+        sweep = sensitivity_sweep(
+            base, axes,
+            equal_producers=not args.pattern.startswith("broadcast"),
+            transform=transform, jobs=args.jobs, cache=_cache_from(args),
+            policy=_policy_from(args))
+    except (ValueError, TypeError) as exc:
+        # Unknown axis path, empty axis, or an axis value whose type the
+        # config validators reject (e.g. testbed.dsn_count=three).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    _emit(sweep.rows(args.metric),
+          title=f"{args.workload} / {args.pattern} sensitivity "
+                f"({' x '.join(sweep.axis_names)})",
+          csv_path=args.csv)
+    _report_failures(sweep.failures)
     return 0
 
 
@@ -285,6 +423,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_figure(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "sensitivity":
+        return _cmd_sensitivity(args)
     return 1
 
 

@@ -26,6 +26,7 @@ from .figures import (
     figure6,
     figure7,
     figure8,
+    figure_bandwidth_scaling,
     overhead_summary,
 )
 from .study import (
@@ -57,6 +58,7 @@ __all__ = [
     "figure6",
     "figure7",
     "figure8",
+    "figure_bandwidth_scaling",
     "overhead_summary",
     "ablation_tunnel_type",
     "ablation_proxy_connections",

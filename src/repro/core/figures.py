@@ -35,6 +35,8 @@ from ..harness import (
     ScenarioSet,
     SweepResult,
     run_scenarios,
+    scale_link_tiers,
+    sensitivity_sweep,
 )
 from ..metrics import empirical_cdf, overhead_table
 from .study import BASELINE_ARCHITECTURE, PAPER_ARCHITECTURES
@@ -49,6 +51,7 @@ __all__ = [
     "figure6",
     "figure7",
     "figure8",
+    "figure_bandwidth_scaling",
     "overhead_summary",
     "ablation_tunnel_type",
     "ablation_proxy_connections",
@@ -327,6 +330,73 @@ def figure8(*, architectures: Sequence[str] = BROADCAST_ARCHITECTURES,
 
 
 # ---------------------------------------------------------------------------
+# Bandwidth scaling (§6: the 1 Gbps testbed limitation vs 100 Gbps)
+# ---------------------------------------------------------------------------
+
+def figure_bandwidth_scaling(*, workload: str = "Lstream",
+                             architectures: Sequence[str] = BROADCAST_ARCHITECTURES,
+                             consumers: int = 16,
+                             speeds_gbps: Sequence[float] = (1, 10, 100),
+                             messages_per_producer: int = 10,
+                             runs: int = 1, seed: int = 1,
+                             testbed: Optional[TestbedConfig] = None,
+                             scale_backbone: bool = True,
+                             jobs: Optional[int] = None,
+                             backend: Optional[ExecutionBackend] = None,
+                             cache: Optional["ResultCache"] = None,
+                             policy: Optional[ExecutionPolicy] = None
+                             ) -> FigureData:
+    """Throughput vs access-link bandwidth (the §6 1-vs-100 Gbps discussion).
+
+    Every headline number in the paper sits at the testbed's 1 Gbps
+    operating point; this sweep moves that point through ``speeds_gbps`` and
+    reports each architecture's throughput plus its speedup relative to the
+    first (paper) speed, so the "what would 100 Gbps interfaces buy"
+    question in §6 becomes a figure instead of prose.  ``scale_backbone``
+    keeps the backbone/gateway tiers at their default ratios to the access
+    links (via :meth:`TestbedConfig.with_link_bandwidth`) so the sweep
+    changes the operating point, not the topology shape.
+    """
+    base = _base_config(workload, "work_sharing",
+                        messages_per_producer=messages_per_producer,
+                        runs=runs, seed=seed, testbed=testbed)
+    base = base.with_consumers(consumers)
+    axis = "testbed.link_bandwidth_bps"
+    transform = scale_link_tiers if scale_backbone else None
+    sweep = sensitivity_sweep(
+        base,
+        {"architecture": list(architectures),
+         axis: [speed * 1e9 for speed in speeds_gbps]},
+        transform=transform, jobs=jobs, backend=backend, cache=cache,
+        policy=policy)
+    data = FigureData(
+        figure="bandwidth",
+        description=f"Aggregate throughput vs access-link bandwidth, "
+                    f"work sharing ({workload}, {consumers} consumers)")
+    data.sweeps["bandwidth"] = sweep
+    first_bps = speeds_gbps[0] * 1e9
+    for row in sweep.rows("throughput_msgs_per_s"):
+        bandwidth_bps = row.pop(axis)
+        reference = sweep.get(row["architecture"], first_bps)
+        speedup = float("nan")
+        if (reference is not None and reference.feasible
+                and reference.throughput_msgs_per_s):
+            speedup = (row["throughput_msgs_per_s"]
+                       / reference.throughput_msgs_per_s)
+        data.rows.append({
+            "workload": workload,
+            "pattern": "work_sharing",
+            "architecture": row["architecture"],
+            "consumers": consumers,
+            "link_gbps": bandwidth_bps / 1e9,
+            "feasible": row["feasible"],
+            "throughput_msgs_per_s": row["throughput_msgs_per_s"],
+            f"speedup_vs_{speeds_gbps[0]:g}gbps": speedup,
+        })
+    return data
+
+
+# ---------------------------------------------------------------------------
 # Overhead summary (§5.3/§5.4 prose numbers)
 # ---------------------------------------------------------------------------
 
@@ -419,27 +489,21 @@ def ablation_link_speed(*, workload: str = "Lstream",
                         speeds_gbps: Sequence[float] = (1, 10, 100),
                         jobs: Optional[int] = None,
                         policy: Optional[ExecutionPolicy] = None) -> list[dict]:
-    """§6: what the 100 Gbps interfaces would buy each architecture."""
-    scenarios = ScenarioSet()
-    for speed in speeds_gbps:
-        testbed = TestbedConfig(
-            link_bandwidth_bps=speed * 1e9,
-            backbone_bandwidth_bps=2 * speed * 1e9,
-            gateway_bandwidth_bps=speed * 1e9,
-        )
-        for label in ("DTS", "PRS(HAProxy)", "MSS"):
-            config = ExperimentConfig(
-                architecture=label, workload=workload, pattern="work_sharing",
-                num_producers=consumers, num_consumers=consumers,
-                messages_per_producer=messages_per_producer, seed=seed,
-                testbed=testbed)
-            scenarios.add_config(config, label=label, link_gbps=speed)
-    return [{"link_gbps": outcome.point.axes["link_gbps"],
-             "architecture": outcome.point.label,
-             "consumers": consumers,
-             "throughput_msgs_per_s": outcome.result.throughput_msgs_per_s}
-            for outcome in run_scenarios(scenarios, jobs=jobs, policy=policy)
-            if outcome.ok]
+    """§6: what the 100 Gbps interfaces would buy each architecture.
+
+    Thin wrapper over :func:`figure_bandwidth_scaling` kept for the
+    historical row shape (architecture-major order since the sweep moved to
+    the product grid).
+    """
+    data = figure_bandwidth_scaling(
+        workload=workload, consumers=consumers, speeds_gbps=speeds_gbps,
+        messages_per_producer=messages_per_producer, seed=seed, jobs=jobs,
+        policy=policy)
+    return [{"link_gbps": row["link_gbps"],
+             "architecture": row["architecture"],
+             "consumers": row["consumers"],
+             "throughput_msgs_per_s": row["throughput_msgs_per_s"]}
+            for row in data.rows]
 
 
 def ablation_work_queue_count(*, workload: str = "Dstream",

@@ -41,40 +41,75 @@ BASELINE_ARCHITECTURE = "DTS"
 
 @dataclass
 class ComparisonResult:
-    """Per-architecture results plus overhead factors for one scenario."""
+    """Per-architecture results plus overhead factors for one scenario.
+
+    With extra ``axes`` (see :func:`compare_architectures`) the comparison
+    repeats at every axis coordinate: ``grid`` maps coordinate tuples (axis
+    values, in ``axes``' key order) to per-architecture results, overheads
+    are computed within each coordinate group, and :meth:`rows` gains one
+    column per axis.  Without extra axes there is a single empty coordinate
+    and ``results`` keeps the historical label-keyed view.
+    """
 
     config: ExperimentConfig
     results: dict[str, ExperimentResult] = field(default_factory=dict)
     baseline: str = BASELINE_ARCHITECTURE
     #: Architectures whose point exhausted the execution policy's attempts.
     failures: list[PointFailure] = field(default_factory=list)
+    #: Extra swept axes: name -> values (empty for a plain comparison).
+    axes: dict[str, tuple] = field(default_factory=dict)
+    #: grid[(axis values...)][architecture] -> ExperimentResult.
+    grid: dict[tuple, dict[str, ExperimentResult]] = field(default_factory=dict)
+
+    def _group_overheads(self, results: dict[str, ExperimentResult],
+                         metric: str, higher_is_better: bool
+                         ) -> list[OverheadResult]:
+        if metric == "median_rtt_s":
+            values = {label: result.median_rtt_s
+                      for label, result in results.items()
+                      if result.feasible and result.rtt_samples.size}
+        else:
+            values = {label: getattr(result, metric)
+                      for label, result in results.items() if result.feasible}
+        if self.baseline not in values:
+            return []
+        return overhead_table(values, baseline=self.baseline, metric=metric,
+                              higher_is_better=higher_is_better)
+
+    def _require_single_coordinate(self) -> None:
+        if self.axes:
+            raise ValueError(
+                "this comparison swept extra axes, so overheads are "
+                "per-coordinate; read them from rows() or compute on "
+                "grid[coordinate] instead")
 
     def throughput_overheads(self) -> list[OverheadResult]:
-        values = {label: result.throughput_msgs_per_s
-                  for label, result in self.results.items() if result.feasible}
-        if self.baseline not in values:
-            return []
-        return overhead_table(values, baseline=self.baseline,
-                              metric="throughput_msgs_per_s", higher_is_better=True)
+        self._require_single_coordinate()
+        return self._group_overheads(self.results, "throughput_msgs_per_s",
+                                     higher_is_better=True)
 
     def rtt_overheads(self) -> list[OverheadResult]:
-        values = {label: result.median_rtt_s
-                  for label, result in self.results.items()
-                  if result.feasible and result.rtt_samples.size}
-        if self.baseline not in values:
-            return []
-        return overhead_table(values, baseline=self.baseline,
-                              metric="median_rtt_s", higher_is_better=False)
+        self._require_single_coordinate()
+        return self._group_overheads(self.results, "median_rtt_s",
+                                     higher_is_better=False)
 
     def rows(self) -> list[dict]:
+        axis_names = tuple(self.axes)
+        grid = self.grid or {(): dict(self.results)}
         rows = []
-        overhead = {o.architecture: o.factor for o in self.throughput_overheads()}
-        rtt_overhead = {o.architecture: o.factor for o in self.rtt_overheads()}
-        for label, result in self.results.items():
-            row = result.as_row()
-            row["throughput_overhead_vs_dts"] = overhead.get(label, 1.0 if label == self.baseline else float("nan"))
-            row["rtt_overhead_vs_dts"] = rtt_overhead.get(label, 1.0 if label == self.baseline else float("nan"))
-            rows.append(row)
+        for coordinate, by_label in grid.items():
+            overhead = {o.architecture: o.factor for o in self._group_overheads(
+                by_label, "throughput_msgs_per_s", higher_is_better=True)}
+            rtt_overhead = {o.architecture: o.factor for o in self._group_overheads(
+                by_label, "median_rtt_s", higher_is_better=False)}
+            for label, result in by_label.items():
+                row = result.as_row()
+                row.update(dict(zip(axis_names, coordinate)))
+                row["throughput_overhead_vs_dts"] = overhead.get(
+                    label, 1.0 if label == self.baseline else float("nan"))
+                row["rtt_overhead_vs_dts"] = rtt_overhead.get(
+                    label, 1.0 if label == self.baseline else float("nan"))
+                rows.append(row)
         return rows
 
 
@@ -88,6 +123,7 @@ def compare_architectures(*, workload: str = "Dstream",
                           seed: int = 1,
                           baseline: str = BASELINE_ARCHITECTURE,
                           testbed: Optional[TestbedConfig] = None,
+                          axes: Optional[dict] = None,
                           jobs: Optional[int] = None,
                           backend: Optional[ExecutionBackend] = None,
                           cache: Optional["ResultCache"] = None,
@@ -102,6 +138,13 @@ def compare_architectures(*, workload: str = "Dstream",
     adds per-point timeout/retry handling; with ``on_error="record"`` a
     crashed architecture lands in ``ComparisonResult.failures`` instead of
     aborting the comparison.
+
+    ``axes`` forwards extra sweep axes to
+    :meth:`~repro.harness.ScenarioSet.product` (dotted config paths such as
+    ``{"testbed.dsn_count": [1, 3, 5]}``): the whole comparison repeats at
+    every axis coordinate, with overheads computed against the baseline *at
+    the same coordinate*; results land in ``ComparisonResult.grid`` and
+    :meth:`ComparisonResult.rows` gains one column per axis.
     """
     if pattern in ("broadcast", "broadcast_gather"):
         producer_count = 1
@@ -120,10 +163,24 @@ def compare_architectures(*, workload: str = "Dstream",
         **config_overrides,
     )
     comparison = ComparisonResult(config=config, baseline=baseline)
-    # equal_producers=False: the producer count is already fixed above (it
-    # may legitimately differ from the consumer count).
-    scenarios = ScenarioSet.grid(config, architectures=list(architectures),
-                                 equal_producers=False)
+    if axes:
+        if "architecture" in axes:
+            raise ValueError("pass extra sweep axes only; the architecture "
+                             "axis comes from the architectures argument")
+        # equal_producers=False: the producer count is already fixed above.
+        scenarios = ScenarioSet.product(
+            config, {"architecture": list(architectures), **axes},
+            equal_producers=False)
+        axis_names = tuple(axes)
+        comparison.axes = {
+            name: tuple(dict.fromkeys(point.axes[name]
+                                      for point in scenarios))
+            for name in axis_names}
+    else:
+        scenarios = ScenarioSet.grid(config,
+                                     architectures=list(architectures),
+                                     equal_producers=False)
+        axis_names = ()
     for outcome in run_scenarios(scenarios, jobs=jobs, backend=backend,
                                  cache=cache, policy=policy):
         if not outcome.ok:
@@ -131,7 +188,11 @@ def compare_architectures(*, workload: str = "Dstream",
                 label=outcome.point.label, axes=dict(outcome.point.axes),
                 error=outcome.error or "", attempts=outcome.attempts))
             continue
-        comparison.results[outcome.point.label] = outcome.result
+        coordinate = tuple(outcome.point.axes[name] for name in axis_names)
+        comparison.grid.setdefault(coordinate, {})[outcome.point.label] = (
+            outcome.result)
+        if not axis_names:
+            comparison.results[outcome.point.label] = outcome.result
     return comparison
 
 

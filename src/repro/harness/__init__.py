@@ -26,7 +26,14 @@ from .runner import (
     resolve_backend,
     run_scenarios,
 )
-from .sweep import PAPER_CONSUMER_COUNTS, ConsumerSweep, SweepResult
+from .sweep import (
+    PAPER_CONSUMER_COUNTS,
+    ConsumerSweep,
+    SensitivitySweep,
+    SweepResult,
+    scale_link_tiers,
+    sensitivity_sweep,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -39,6 +46,9 @@ __all__ = [
     "PointFailure",
     "ConsumerSweep",
     "SweepResult",
+    "SensitivitySweep",
+    "sensitivity_sweep",
+    "scale_link_tiers",
     "PAPER_CONSUMER_COUNTS",
     "ScenarioPoint",
     "ScenarioSet",

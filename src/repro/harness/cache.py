@@ -1,14 +1,26 @@
-"""On-disk result cache for the scenario runner.
+"""On-disk result cache for the scenario runner (sharded by key prefix).
 
-Format: one JSON file, ``{"version": 1, "entries": {<key>: <entry>}}``,
-where ``<key>`` is :meth:`ScenarioPoint.cache_key` (a content hash of the
-point's config and kind) and ``<entry>`` holds the point description, a
-*code fingerprint* (see :func:`code_fingerprint`) and the
+Format: a *directory* of shard files, ``<path>/<xx>.json``, where ``xx`` is
+the first two hex characters of :meth:`ScenarioPoint.cache_key` (a content
+hash of the point's config and kind).  Each shard holds ``{"version": 1,
+"entries": {<key>: <entry>}}`` and each ``<entry>`` holds the point
+description, a *code fingerprint* (see :func:`code_fingerprint`) and the
 :meth:`~repro.harness.results.ExperimentResult.to_json_dict` payload.
-Figure regeneration passes the same cache file back in and every
+Figure regeneration passes the same cache path back in and every
 already-computed point is loaded instead of re-simulated, so e.g.
-``repro-streamsim figure fig5 --cache fig.json`` after ``fig6 --cache
-fig.json`` only runs the points fig6 did not cover.
+``repro-streamsim figure fig5 --cache fig-cache`` after ``fig6 --cache
+fig-cache`` only runs the points fig6 did not cover.
+
+Sharding keeps flushes O(dirty shard), not O(total entries): the runner
+persists results incrementally as points complete, and with one monolithic
+file every flush rewrote the entire cache — quadratic over a long sweep.
+With 256 shards only the files whose entries changed since the last flush
+are rewritten (each atomically, via a temp file).  Caches written by the
+old single-file layout are migrated automatically on open: the file's
+entries are resharded into a directory at the same path and the original is
+removed.  A crash mid-migration leaves the original as
+``<path>.migrating``; the next open folds it back into the shard directory
+(fresher shard entries win) and deletes it.
 
 Version awareness: every entry records the fingerprint of the ``repro``
 source tree that produced it.  An entry whose fingerprint no longer matches
@@ -16,9 +28,9 @@ the running code is treated as a miss and evicted (its result may reflect
 old simulation semantics); pass ``allow_stale=True`` (CLI:
 ``--allow-stale``) to serve such entries anyway.
 
-Robustness: a corrupt or truncated cache file (interrupted write, disk
-full, hand editing) is quarantined to ``<path>.corrupt[-N]`` with a warning
-and the cache starts empty, instead of crashing the sweep that tried to use
+Robustness: a corrupt or truncated shard (interrupted write, disk full,
+hand editing) is quarantined to ``<shard>.corrupt[-N]`` with a warning and
+that shard starts empty, instead of crashing the sweep that tried to use
 it.  A file whose declared format version is unknown still raises — that is
 a deliberate mismatch, not corruption.
 
@@ -85,8 +97,13 @@ def _quarantine_path(path: str) -> str:
     return candidate
 
 
+def _shard_name(key: str) -> str:
+    return key[:2]
+
+
 class ResultCache:
-    """A dict of experiment results keyed by scenario content hash."""
+    """A dict of experiment results keyed by scenario content hash,
+    persisted as one JSON shard per two-hex-character key prefix."""
 
     def __init__(self, path: str, *, allow_stale: bool = False,
                  autosave_interval: int = 1,
@@ -94,30 +111,29 @@ class ResultCache:
         self.path = path
         self.allow_stale = allow_stale
         self.autosave_interval = max(1, autosave_interval)
-        #: Wall-clock throttle between autosaves.  Each save rewrites the
-        #: whole file, so per-point saving would cost O(N^2) serialization
-        #: over a long sweep; throttling bounds a kill's losses to about
-        #: this much completed work instead.
+        #: Wall-clock throttle between autosaves.  Sharding already bounds a
+        #: flush to the shards that changed; the throttle additionally keeps
+        #: very fast sweeps from hitting the filesystem per point, at the
+        #: cost of a kill losing about this much completed work.
         self.autosave_min_s = autosave_min_s
         self._entries: dict[str, dict] = {}
-        self._dirty = False
+        self._dirty_shards: set[str] = set()
         self._stores_since_save = 0
         self._last_autosave = 0.0
         #: Entries evicted because their code fingerprint went stale.
         self.stale_evicted = 0
-        if os.path.exists(path):
-            payload = self._load_payload(path)
-            if payload is not None:
-                if payload.get("version") != CACHE_VERSION:
-                    raise ValueError(
-                        f"result cache {path!r} has version "
-                        f"{payload.get('version')!r}; expected {CACHE_VERSION}")
-                self._entries = dict(payload.get("entries", {}))
+        if os.path.isfile(path):
+            self._migrate_single_file(path)
+        else:
+            if os.path.isdir(path):
+                self._load_shards(path)
+            self._recover_interrupted_migration(path)
 
+    # -- on-disk layout -----------------------------------------------------------
     @staticmethod
     def _load_payload(path: str) -> Optional[dict]:
-        """Parse the cache file; quarantine and warn instead of raising on
-        a corrupt/truncated file (returns None so the cache starts empty)."""
+        """Parse one cache file; quarantine and warn instead of raising on
+        a corrupt/truncated file (returns None so that shard starts empty)."""
         try:
             with open(path, encoding="utf-8") as handle:
                 payload = json.load(handle)
@@ -132,8 +148,56 @@ class ResultCache:
                 f"{quarantined!r} and starting with an empty cache",
                 RuntimeWarning, stacklevel=3)
             return None
+        if payload.get("version") != CACHE_VERSION:
+            raise ValueError(
+                f"result cache {path!r} has version "
+                f"{payload.get('version')!r}; expected {CACHE_VERSION}")
         return payload
 
+    def _migrate_single_file(self, path: str) -> None:
+        """Reshard a pre-sharding single-file cache into the directory
+        layout, preserving every entry (auto-migration on open)."""
+        payload = self._load_payload(path)
+        if payload is None:  # corrupt: quarantined; nothing to migrate
+            return
+        self._entries = dict(payload.get("entries", {}))
+        staging = f"{path}.migrating"
+        os.replace(path, staging)
+        os.makedirs(path, exist_ok=True)
+        self._dirty_shards = {_shard_name(key) for key in self._entries}
+        self._write_dirty_shards()
+        os.remove(staging)
+
+    def _recover_interrupted_migration(self, path: str) -> None:
+        """Finish a migration that crashed mid-reshard: fold the stranded
+        ``<path>.migrating`` backup into the shard directory (shards win —
+        they may already hold fresher post-crash entries)."""
+        staging = f"{path}.migrating"
+        if not os.path.isfile(staging):
+            return
+        payload = self._load_payload(staging)
+        if payload is not None:
+            recovered = {key: entry
+                         for key, entry in payload.get("entries", {}).items()
+                         if key not in self._entries}
+            if recovered:
+                self._entries.update(recovered)
+                self._dirty_shards.update(_shard_name(key)
+                                          for key in recovered)
+                os.makedirs(path, exist_ok=True)
+                self._write_dirty_shards()
+        if os.path.exists(staging):  # _load_payload quarantines corruption
+            os.remove(staging)
+
+    def _load_shards(self, path: str) -> None:
+        for name in sorted(os.listdir(path)):
+            if len(name) != 7 or not name.endswith(".json"):
+                continue
+            payload = self._load_payload(os.path.join(path, name))
+            if payload is not None:
+                self._entries.update(payload.get("entries", {}))
+
+    # -- mapping protocol -----------------------------------------------------------
     def __len__(self) -> int:
         return len(self._entries)
 
@@ -157,17 +221,18 @@ class ResultCache:
         if not self.allow_stale and entry.get("fingerprint") != code_fingerprint():
             del self._entries[key]
             self.stale_evicted += 1
-            self._dirty = True
+            self._dirty_shards.add(_shard_name(key))
             return None
         return ExperimentResult.from_json_dict(entry["result"])
 
     def store(self, point: ScenarioPoint, result: ExperimentResult) -> None:
-        self._entries[point.cache_key()] = {
+        key = point.cache_key()
+        self._entries[key] = {
             "point": point.describe(),
             "fingerprint": code_fingerprint(),
             "result": result.to_json_dict(),
         }
-        self._dirty = True
+        self._dirty_shards.add(_shard_name(key))
         self._stores_since_save += 1
 
     def maybe_save(self) -> None:
@@ -179,14 +244,31 @@ class ResultCache:
             self.save()
 
     def save(self) -> None:
-        """Write the cache back to disk (atomically) if anything changed."""
-        if not self._dirty:
+        """Write the dirty shards back to disk (each atomically)."""
+        if not self._dirty_shards:
             return
-        payload = {"version": CACHE_VERSION, "entries": self._entries}
-        tmp_path = f"{self.path}.tmp"
-        with open(tmp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle)
-        os.replace(tmp_path, self.path)
-        self._dirty = False
+        os.makedirs(self.path, exist_ok=True)
+        self._write_dirty_shards()
         self._stores_since_save = 0
         self._last_autosave = time.monotonic()
+
+    def _write_dirty_shards(self) -> None:
+        by_shard: dict[str, dict[str, dict]] = {name: {}
+                                                for name in self._dirty_shards}
+        for key, entry in self._entries.items():
+            shard = _shard_name(key)
+            if shard in by_shard:
+                by_shard[shard][key] = entry
+        for shard, entries in by_shard.items():
+            shard_path = os.path.join(self.path, f"{shard}.json")
+            if not entries:
+                # Every entry in the shard was evicted.
+                if os.path.exists(shard_path):
+                    os.remove(shard_path)
+                continue
+            tmp_path = f"{shard_path}.tmp"
+            with open(tmp_path, "w", encoding="utf-8") as handle:
+                json.dump({"version": CACHE_VERSION, "entries": entries},
+                          handle)
+            os.replace(tmp_path, shard_path)
+        self._dirty_shards.clear()

@@ -75,6 +75,11 @@ class ExperimentConfig:
             raise ValueError("messages_per_producer must be >= 1")
         if self.runs < 1:
             raise ValueError("runs must be >= 1")
+        if self.runs >= 1000:
+            # run_seed derives per-run seeds as seed * 1000 + run_index, so
+            # 1000+ runs would collide with the next root seed's stream.
+            raise ValueError("runs must be < 1000 (the run_seed derivation "
+                             "reserves 1000 run slots per root seed)")
         if self.work_queue_count < 1:
             raise ValueError("work_queue_count must be >= 1")
         if self.pattern in ("broadcast", "broadcast_gather") and self.num_producers != 1:
@@ -100,6 +105,15 @@ class ExperimentConfig:
         return replace(self, architecture=label, architecture_options=merged)
 
     def run_seed(self, run_index: int) -> int:
+        """Derived seed for one run: ``seed * 1000 + run_index``.
+
+        This is the determinism contract for the whole runner: every run of
+        every point seeds its random streams from this value alone, so
+        retries and parallel execution are bit-identical to a clean serial
+        run.  Each root seed owns the 1000 run slots ``[seed*1000, (seed+1)
+        *1000)``; ``__post_init__`` rejects ``runs >= 1000`` so distinct
+        root seeds can never collide on a derived seed.
+        """
         return self.seed * 1000 + run_index
 
     # -- serialization -----------------------------------------------------------

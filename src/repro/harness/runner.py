@@ -28,6 +28,7 @@ already-computed points are loaded instead of re-simulated.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import multiprocessing
 import os
@@ -35,7 +36,7 @@ import signal
 import threading
 import time
 import traceback
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, is_dataclass, replace
 from typing import (
     TYPE_CHECKING,
     Any,
@@ -209,6 +210,65 @@ class PointOutcome:
         return self.error is None
 
 
+def _axis_values(name: str, values, default: Sequence) -> list:
+    """Resolve one grid axis: ``None`` keeps the base config's value; an
+    explicitly empty sequence is an error (``seeds=[]`` silently falling
+    back to the base seed has bitten real sweeps)."""
+    if values is None:
+        return list(default)
+    values = list(values)
+    if not values:
+        raise ValueError(f"axis {name!r} is an empty sequence; pass None "
+                         f"(or omit it) to keep the base config's value")
+    return values
+
+
+def _validate_axis_path(base: ExperimentConfig, path: str) -> None:
+    """Check a dotted axis path against the config dataclasses.
+
+    ``testbed.link_bandwidth_bps`` walks ExperimentConfig -> TestbedConfig;
+    an unknown segment raises a ValueError naming the valid fields so CLI
+    typos fail before any simulation runs.
+    """
+    obj = base
+    parts = path.split(".")
+    for depth, part in enumerate(parts):
+        if not is_dataclass(obj):
+            prefix = ".".join(parts[:depth])
+            raise ValueError(
+                f"invalid axis {path!r}: {prefix!r} is a plain "
+                f"{type(obj).__name__} value, not a config object")
+        names = {f.name for f in fields(obj)}
+        if part not in names:
+            raise ValueError(
+                f"unknown axis {path!r}: {type(obj).__name__} has no field "
+                f"{part!r} (valid fields: {', '.join(sorted(names))})")
+        if depth < len(parts) - 1:
+            obj = getattr(obj, part)
+
+
+def _replace_dotted(obj, parts: Sequence[str], value):
+    """Functional update of a dotted dataclass path (nested ``replace``)."""
+    if len(parts) == 1:
+        return replace(obj, **{parts[0]: value})
+    child = _replace_dotted(getattr(obj, parts[0]), parts[1:], value)
+    return replace(obj, **{parts[0]: child})
+
+
+def _clean_architecture(base: ExperimentConfig, architecture: str
+                        ) -> ExperimentConfig:
+    """Move ``base`` to another architecture without leaking options.
+
+    ``base.architecture_options`` travels only with the base's own
+    architecture; other points on the axis start from clean options so e.g.
+    PRS-specific options cannot mis-configure the MSS/DTS factories.
+    """
+    options = (dict(base.architecture_options)
+               if architecture == base.architecture else {})
+    return replace(base, architecture=architecture,
+                   architecture_options=options)
+
+
 class ScenarioSet:
     """An ordered collection of scenario points with grid builders.
 
@@ -248,6 +308,19 @@ class ScenarioSet:
         self._points.extend(points)
         return self
 
+    def map_configs(self, transform: Callable[[ExperimentConfig],
+                                              ExperimentConfig]
+                    ) -> "ScenarioSet":
+        """Rewrite every point's config through ``transform`` (builder).
+
+        Point order, labels and axes are untouched — this is how derived
+        sweeps apply coupled changes a single axis cannot express (e.g.
+        rescaling the backbone links along with the access links).
+        """
+        for point in self._points:
+            point.config = transform(point.config)
+        return self
+
     @classmethod
     def grid(cls, base: ExperimentConfig, *,
              architectures: Optional[Sequence[str]] = None,
@@ -258,26 +331,98 @@ class ScenarioSet:
              equal_producers: bool = True) -> "ScenarioSet":
         """Cartesian grid over the paper's scenario axes.
 
-        Any axis left as ``None`` stays fixed at the base config's value.
-        Points are ordered architecture-major (matching the historical sweep
-        loops), then workload, pattern, consumer count and seed.
+        Any axis left as ``None`` stays fixed at the base config's value; an
+        explicitly empty axis raises ``ValueError`` instead of silently
+        collapsing onto the base value.  Points are ordered
+        architecture-major (matching the historical sweep loops), then
+        workload, pattern, consumer count and seed.  ``base``'s
+        ``architecture_options`` apply only to points whose architecture is
+        the base's own — other architectures on the axis start from clean
+        options.
         """
         scenarios = cls()
-        for architecture in architectures or [base.architecture]:
-            for workload in workloads or [base.workload]:
-                for pattern in patterns or [base.pattern]:
-                    config = replace(
-                        base.with_architecture(architecture),
-                        workload=workload, pattern=pattern)
-                    for consumers in consumer_counts or [base.num_consumers]:
+        for architecture in _axis_values("architectures", architectures,
+                                         [base.architecture]):
+            arch_base = _clean_architecture(base, architecture)
+            for workload in _axis_values("workloads", workloads,
+                                         [base.workload]):
+                for pattern in _axis_values("patterns", patterns,
+                                            [base.pattern]):
+                    config = replace(arch_base, workload=workload,
+                                     pattern=pattern)
+                    for consumers in _axis_values("consumer_counts",
+                                                  consumer_counts,
+                                                  [base.num_consumers]):
                         point_config = config.with_consumers(
                             consumers, equal_producers=equal_producers)
-                        for seed in seeds or [base.seed]:
+                        for seed in _axis_values("seeds", seeds, [base.seed]):
                             scenarios.add_config(
                                 replace(point_config, seed=seed),
                                 label=architecture,
                                 workload=workload, pattern=pattern,
                                 consumers=consumers, seed=seed)
+        return scenarios
+
+    @classmethod
+    def product(cls, base: ExperimentConfig, axes: dict, *,
+                equal_producers: bool = True) -> "ScenarioSet":
+        """Cartesian grid over *arbitrary* config/testbed axes.
+
+        ``axes`` maps axis names to non-empty value sequences.  An axis name
+        is either one of two special coordinates —
+
+        * ``"architecture"`` — moves the point to another architecture with
+          clean ``architecture_options`` (the base's options travel only
+          with the base's own architecture);
+        * ``"consumers"`` — applies :meth:`ExperimentConfig.with_consumers`
+          so the producer count follows the paper's equal-producers rule
+          (disable with ``equal_producers=False``);
+
+        — or a dotted path into the config dataclasses, validated before
+        anything runs: ``"seed"``, ``"workload"``,
+        ``"testbed.link_bandwidth_bps"``, ``"testbed.dsn_count"``,
+        ``"testbed.ack_policy.mode"``, ...
+
+        Points are ordered architecture-major (when an ``architecture`` axis
+        is present), then by the remaining axes in ``axes``' own order,
+        rightmost axis fastest — deterministic, so parallel backends stay
+        bit-identical to serial.  Every point records its coordinates in
+        ``ScenarioPoint.axes`` keyed by the axis names given here.
+        """
+        if not axes:
+            raise ValueError("product needs at least one axis; use "
+                             "add_config for a single point")
+        names = list(axes)
+        if "architecture" in names:  # architecture-major, like grid
+            names.remove("architecture")
+            names.insert(0, "architecture")
+        ordered: dict[str, list] = {}
+        for name in names:
+            values = axes[name]
+            if values is None:
+                raise ValueError(f"axis {name!r} is None; omit the axis to "
+                                 f"keep the base config's value")
+            ordered[name] = _axis_values(name, values, ())
+            if name not in ("architecture", "consumers"):
+                _validate_axis_path(base, name)
+        scenarios = cls()
+        for combo in itertools.product(*ordered.values()):
+            coords = dict(zip(ordered, combo))
+            config = base
+            if "architecture" in coords:
+                config = _clean_architecture(config, coords["architecture"])
+            # Plain fields before the consumer coordinate: with_consumers
+            # reads the (possibly swept) pattern to decide producer counts.
+            for name, value in coords.items():
+                if name in ("architecture", "consumers"):
+                    continue
+                config = _replace_dotted(config, name.split("."), value)
+            if "consumers" in coords:
+                config = config.with_consumers(
+                    coords["consumers"], equal_producers=equal_producers)
+            scenarios.add(ScenarioPoint(config=config,
+                                        label=config.architecture,
+                                        axes=coords))
         return scenarios
 
     @classmethod
@@ -297,7 +442,7 @@ class ScenarioSet:
         scenarios = cls()
         base = base or ExperimentConfig()
         for offset, label in enumerate(dict.fromkeys(architectures)):
-            config = replace(base.with_architecture(label),
+            config = replace(_clean_architecture(base, label),
                              seed=base.seed + offset)
             scenarios.add_config(config, label=label, kind="deployment")
         return scenarios

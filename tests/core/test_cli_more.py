@@ -1,6 +1,9 @@
-"""Additional CLI coverage: compare, figure and deployment subcommands."""
+"""Additional CLI coverage: compare, figure, deployment and sensitivity
+subcommands."""
 
 from __future__ import annotations
+
+import os
 
 from repro.cli import main
 
@@ -31,3 +34,81 @@ def test_cli_deployment(capsys):
     out = capsys.readouterr().out
     assert "multi_user_scalability" in out
     assert "DTS" in out and "MSS" in out
+
+
+SMALL_TESTBED_AXES = ["--axis", "testbed.producer_nodes=4",
+                      "--axis", "testbed.consumer_nodes=4"]
+
+
+def test_cli_sensitivity_bandwidth_axis_with_cache(capsys, tmp_path):
+    """The acceptance scenario: a bandwidth axis produces a CSV, cached
+    into the sharded layout, and a re-run serves every point from disk."""
+    csv_path = tmp_path / "sensitivity.csv"
+    cache_path = tmp_path / "cache"
+    argv = ["sensitivity",
+            "--axis", "testbed.link_bandwidth_bps=1e9,100e9",
+            *SMALL_TESTBED_AXES,
+            "--architectures", "DTS",
+            "--consumers", "2", "--messages", "4", "--jobs", "2",
+            "--cache", str(cache_path), "--csv", str(csv_path)]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "testbed.link_bandwidth_bps" in out
+    content = csv_path.read_text()
+    assert content.count("\n") >= 3  # header + 2 points
+    assert os.path.isdir(cache_path)
+
+    # Second run hits only the cache (and yields the same CSV).
+    assert main(argv) == 0
+    assert csv_path.read_text() == content
+
+
+def test_cli_sensitivity_sweeps_ack_mode_and_dsn_count(capsys):
+    code = main(["sensitivity",
+                 "--axis", "testbed.ack_policy.mode=batch,per_message",
+                 "--axis", "testbed.dsn_count=1,3",
+                 *SMALL_TESTBED_AXES,
+                 "--consumers", "2", "--messages", "4"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "per_message" in out
+    assert "testbed.dsn_count" in out
+
+
+def test_cli_sensitivity_rejects_unknown_axis(capsys):
+    code = main(["sensitivity", "--axis", "testbed.link_bandwidth=1e9"])
+    assert code == 2
+    assert "unknown axis" in capsys.readouterr().err
+
+
+def test_cli_sensitivity_rejects_duplicate_axis(capsys):
+    code = main(["sensitivity", "--axis", "seed=1", "--axis", "seed=2"])
+    assert code == 2
+    assert "more than once" in capsys.readouterr().err
+
+
+def test_cli_sensitivity_rejects_wrongly_typed_axis_value(capsys):
+    code = main(["sensitivity", "--axis", "testbed.dsn_count=1,three"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_sensitivity_rejects_scale_backbone_over_backbone_axis(capsys):
+    code = main(["sensitivity", "--scale-backbone",
+                 "--axis", "testbed.backbone_bandwidth_bps=1e9,4e9"])
+    assert code == 2
+    assert "--scale-backbone" in capsys.readouterr().err
+
+
+def test_cli_sensitivity_requires_an_axis(capsys):
+    code = main(["sensitivity"])
+    assert code == 2
+    assert "no axes" in capsys.readouterr().err
+
+
+def test_cli_figure_bandwidth(capsys):
+    code = main(["figure", "bandwidth", "--link-gbps", "1", "100",
+                 "--consumers", "2", "--messages", "4"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "link_gbps" in out and "speedup_vs_1gbps" in out

@@ -107,12 +107,32 @@ def test_code_fingerprint_is_stable_within_a_process():
     int(code_fingerprint(), 16)  # hex
 
 
+def _shard_files(path: str) -> list[str]:
+    """Every shard file of a (directory-layout) cache."""
+    return sorted(glob.glob(os.path.join(path, "??.json")))
+
+
+def _cache_entries(path: str) -> dict:
+    """All entries across a sharded cache's files."""
+    entries: dict = {}
+    for shard in _shard_files(path):
+        entries.update(json.load(open(shard))["entries"])
+    return entries
+
+
+def _rewrite_entries(path: str, mutate) -> None:
+    for shard in _shard_files(path):
+        payload = json.load(open(shard))
+        for entry in payload["entries"].values():
+            mutate(entry)
+        json.dump(payload, open(shard, "w"))
+
+
 def _tamper_fingerprint(path: str) -> None:
     """Rewrite every entry as if an older repro source had produced it."""
-    payload = json.load(open(path))
-    for entry in payload["entries"].values():
+    def age(entry):
         entry["fingerprint"] = "0" * 16
-    json.dump(payload, open(path, "w"))
+    _rewrite_entries(path, age)
 
 
 def test_stale_fingerprint_invalidates_entry(tmp_path):
@@ -128,7 +148,7 @@ def test_stale_fingerprint_invalidates_entry(tmp_path):
     [outcome] = run_scenarios([point], cache=cache)
     assert not outcome.cached  # recomputed, not served stale
     # The recomputed entry carries the current fingerprint again.
-    entries = json.load(open(path))["entries"]
+    entries = _cache_entries(path)
     assert [e["fingerprint"] for e in entries.values()] == [code_fingerprint()]
 
 
@@ -151,10 +171,10 @@ def test_pre_fingerprint_entries_are_treated_as_stale(tmp_path):
     path = str(tmp_path / "cache.json")
     point = ScenarioPoint(config=tiny_config())
     run_scenarios([point], cache=ResultCache(path))
-    payload = json.load(open(path))
-    for entry in payload["entries"].values():
+
+    def drop(entry):
         del entry["fingerprint"]
-    json.dump(payload, open(path, "w"))
+    _rewrite_entries(path, drop)
     assert ResultCache(path).load(point) is None
     assert ResultCache(path, allow_stale=True).load(point) is not None
 
