@@ -8,7 +8,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Line-coverage floor enforced by `make coverage` over the execution engine.
 COVERAGE_FLOOR ?= 85
 
-.PHONY: test bench-smoke bench check coverage example sensitivity-smoke
+.PHONY: test bench-smoke bench check coverage example sensitivity-smoke \
+	session-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -31,7 +32,22 @@ sensitivity-smoke:
 		--jobs 2 --cache $(SMOKE_CACHE)
 	@rm -rf $(SMOKE_CACHE)
 
-check: test bench-smoke sensitivity-smoke
+# Fast end-to-end smoke for the Session API: the CLI builds its execution
+# session purely from REPRO_* environment variables (Session.from_env via
+# Session.from_args — no --jobs/--cache flags), runs a 2-point sweep on two
+# workers, then re-runs it from the populated cache.
+SESSION_SMOKE_CACHE := .session-smoke-cache
+session-smoke:
+	@rm -rf $(SESSION_SMOKE_CACHE)
+	REPRO_JOBS=2 REPRO_CACHE=$(SESSION_SMOKE_CACHE) $(PYTHON) -m repro.cli \
+		sweep --workload Dstream --architectures DTS \
+		--consumers 1 2 --messages 4
+	REPRO_JOBS=2 REPRO_CACHE=$(SESSION_SMOKE_CACHE) $(PYTHON) -m repro.cli \
+		sweep --workload Dstream --architectures DTS \
+		--consumers 1 2 --messages 4
+	@rm -rf $(SESSION_SMOKE_CACHE)
+
+check: test bench-smoke sensitivity-smoke session-smoke
 
 # Coverage gate over the harness (runner/cache/sweep/policy are the layers
 # fault-tolerance lives in).  Skips gracefully where pytest-cov is absent —

@@ -17,13 +17,16 @@ from __future__ import annotations
 
 from repro.architectures import MSSArchitecture, PRSArchitecture, Testbed, TestbedConfig
 from repro.core import architecture_comparison_text
+from repro.harness import Session
 from repro.simkit import Environment
 
 
 def show_comparison() -> None:
+    # A parallel session deploys the four control planes concurrently.
     print(architecture_comparison_text(
         ["DTS", "PRS(Stunnel)", "PRS(HAProxy)", "MSS"],
-        testbed_config=TestbedConfig(producer_nodes=2, consumer_nodes=2)))
+        testbed_config=TestbedConfig(producer_nodes=2, consumer_nodes=2),
+        session=Session(backend="process", jobs=2)))
 
 
 def walk_through_mss_provisioning() -> None:

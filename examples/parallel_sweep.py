@@ -1,18 +1,22 @@
 #!/usr/bin/env python3
-"""Parallel scenario sweeps through the unified runner.
+"""Parallel scenario sweeps through an execution :class:`Session`.
 
 This example demonstrates the execution engine behind every sweep, figure
 and CLI command:
 
 1. build a scenario grid (architecture x consumer count) with
    :class:`~repro.harness.ScenarioSet`,
-2. run it serially and on a process pool and verify the results are
+2. run it under a serial session and a named parallel backend
+   (``Session(backend="process", jobs=N)``) and verify the results are
    bit-identical (each point derives all randomness from its own config),
-3. cache the results to a JSON file and re-run the sweep instantly from the
-   cache, the way figure regeneration reuses earlier runs,
-4. run under an :class:`~repro.harness.ExecutionPolicy` so per-point
-   timeouts, retries and failures become structured records instead of
-   killing the sweep.
+3. cache the results to a sharded cache directory (``Session(cache=...)``)
+   and re-run the sweep instantly from disk, the way figure regeneration
+   reuses earlier runs,
+4. run under an :class:`~repro.harness.ExecutionPolicy` carried by the
+   session so per-point timeouts, retries and failures become structured
+   records instead of killing the sweep,
+5. build the same session from ``REPRO_*`` environment variables with
+   :meth:`~repro.harness.Session.from_env` — the CLI's configuration path.
 
 Run with::
 
@@ -30,7 +34,7 @@ from repro.harness import (
     ConsumerSweep,
     ExecutionPolicy,
     ExperimentConfig,
-    ResultCache,
+    Session,
 )
 from repro.metrics import format_table
 
@@ -55,12 +59,13 @@ def main() -> None:
                           consumer_counts=CONSUMER_COUNTS)
 
     start = time.perf_counter()
-    serial = sweep.run()
+    serial = sweep.run(session=Session())
     serial_s = time.perf_counter() - start
 
     jobs = os.cpu_count() or 2
     start = time.perf_counter()
-    pooled = sweep.run(jobs=jobs)
+    with Session(backend="process", jobs=jobs) as session:
+        pooled = sweep.run(session=session)
     pooled_s = time.perf_counter() - start
 
     print(f"serial: {serial_s:.2f}s   jobs={jobs}: {pooled_s:.2f}s")
@@ -69,21 +74,30 @@ def main() -> None:
                        title="Dstream / work sharing consumer sweep"))
 
     with tempfile.TemporaryDirectory() as tmp:
-        cache_path = os.path.join(tmp, "sweep-cache.json")
-        sweep.run(cache=ResultCache(cache_path))  # populates the cache
+        cache_path = os.path.join(tmp, "sweep-cache")
+        with Session(cache=cache_path) as session:
+            sweep.run(session=session)  # populates the cache
         start = time.perf_counter()
-        cached = sweep.run(cache=ResultCache(cache_path))
+        with Session(cache=cache_path) as session:
+            cached = sweep.run(session=session)
         cached_s = time.perf_counter() - start
         print(f"re-run from cache: {cached_s:.3f}s "
               f"(matches: {cached.rows() == serial.rows()})")
 
     # Fault tolerance: bound each point to 60s of wall clock, retry twice
     # (retries re-derive their seeds, so results match a clean run), and
-    # record exhausted points instead of raising.
+    # record exhausted points instead of raising.  The policy travels with
+    # the session into every backend worker.
     policy = ExecutionPolicy(timeout_s=60.0, retries=2, on_error="record")
-    guarded = sweep.run(jobs=jobs, policy=policy)
+    with Session(jobs=jobs, policy=policy) as session:
+        guarded = sweep.run(session=session)
     print(f"with policy {policy}: {len(guarded.failures)} failed point(s), "
           f"matches clean run: {guarded.rows() == serial.rows()}")
+
+    # The CLI builds its session the same way, from the environment:
+    # REPRO_JOBS=4 REPRO_BACKEND=thread python examples/parallel_sweep.py
+    env_session = Session.from_env()
+    print(f"session from environment: {env_session.describe()}")
 
 
 if __name__ == "__main__":

@@ -5,7 +5,8 @@ This example mirrors the paper's basic measurement loop on a small scale:
 
 1. print Table 1 (the workload characteristics),
 2. run a single Dstream work-sharing experiment on the DTS architecture,
-3. compare DTS, PRS(HAProxy) and MSS on the same scenario and report the
+3. compare DTS, PRS(HAProxy) and MSS on the same scenario — in parallel,
+   under an execution :class:`~repro.harness.Session` — and report the
    overhead of the proxied/managed architectures relative to DTS.
 
 Run with::
@@ -16,7 +17,7 @@ Run with::
 from __future__ import annotations
 
 from repro.core import compare_architectures, table1_text
-from repro.harness import ExperimentConfig, run_experiment
+from repro.harness import ExperimentConfig, Session, run_experiment
 from repro.metrics import format_table
 
 
@@ -44,15 +45,21 @@ def run_single_experiment() -> None:
 
 
 def run_comparison() -> None:
-    """The paper's core loop: same scenario, three architectures."""
-    comparison = compare_architectures(
-        workload="Dstream",
-        pattern="work_sharing",
-        consumers=4,
-        architectures=["DTS", "PRS(HAProxy)", "MSS"],
-        messages_per_producer=40,
-        seed=7,
-    )
+    """The paper's core loop: same scenario, three architectures.
+
+    The session fans the three architectures out over two worker
+    processes; results are bit-identical to a serial session.
+    """
+    with Session(backend="process", jobs=2) as session:
+        comparison = compare_architectures(
+            workload="Dstream",
+            pattern="work_sharing",
+            consumers=4,
+            architectures=["DTS", "PRS(HAProxy)", "MSS"],
+            messages_per_producer=40,
+            seed=7,
+            session=session,
+        )
     print("\n== Architecture comparison (Dstream / work sharing / 4 consumers) ==")
     print(format_table(comparison.rows(), columns=[
         "architecture", "throughput_msgs_per_s", "throughput_gbps",

@@ -28,7 +28,7 @@ import time
 
 from repro.architectures import TestbedConfig
 from repro.core import figure_bandwidth_scaling
-from repro.harness import ExperimentConfig, ResultCache, sensitivity_sweep
+from repro.harness import ExperimentConfig, Session, sensitivity_sweep
 from repro.metrics import format_table
 
 
@@ -52,7 +52,8 @@ AXES = {
 
 
 def main() -> None:
-    sweep = sensitivity_sweep(base_config(), AXES, jobs=2)
+    sweep = sensitivity_sweep(base_config(), AXES,
+                              session=Session(backend="process", jobs=2))
     print(format_table(sweep.rows("throughput_msgs_per_s"),
                        title=" x ".join(sweep.axis_names)))
 
@@ -67,13 +68,13 @@ def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         cache_path = os.path.join(tmp, "grid-cache")
         start = time.perf_counter()
-        sensitivity_sweep(base_config(), AXES,
-                          cache=ResultCache(cache_path))
+        with Session(cache=cache_path) as session:
+            sensitivity_sweep(base_config(), AXES, session=session)
         cold_s = time.perf_counter() - start
 
         start = time.perf_counter()
-        cached = sensitivity_sweep(base_config(), AXES,
-                                   cache=ResultCache(cache_path))
+        with Session(cache=cache_path) as session:
+            cached = sensitivity_sweep(base_config(), AXES, session=session)
         warm_s = time.perf_counter() - start
         shards = len(os.listdir(cache_path))
         print(f"\nSharded cache: {len(cached)} points in {shards} shard "

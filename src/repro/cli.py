@@ -13,16 +13,20 @@ Examples::
         --axis testbed.dsn_count=1,3,5 --architectures DTS MSS --jobs 4
     repro-streamsim deployment
 
-Every experiment-running subcommand goes through the unified scenario
-runner: ``--jobs N`` fans the points out over a process pool (results are
-bit-identical to serial for the same seed) and ``--cache PATH`` caches
-per-point results to a sharded JSON directory that later invocations reuse
-(entries written by older code are auto-invalidated unless
-``--allow-stale``; pre-sharding single-file caches migrate automatically).
-``--timeout S``, ``--retries N`` and ``--on-error raise|skip|record``
-bound each point's wall-clock time and decide what a point that exhausts
-its attempts becomes.  Every subcommand prints an ASCII table; ``--csv
-PATH`` also writes the rows to a CSV file.
+Every experiment-running subcommand builds one execution
+:class:`~repro.harness.session.Session` from a shared option block —
+``--jobs N`` (fan points out over workers, bit-identical to serial for the
+same seed), ``--backend serial|process|thread`` (named registry backends),
+``--cache PATH`` (sharded JSON result cache reused across invocations;
+entries written by older code are auto-invalidated unless ``--allow-stale``;
+pre-sharding single-file caches migrate automatically), and ``--timeout S``
+/ ``--retries N`` / ``--on-error raise|skip|record`` to bound each point's
+wall-clock time and decide what a point that exhausts its attempts becomes.
+Options left unset fall back to ``REPRO_JOBS``/``REPRO_BACKEND``/
+``REPRO_CACHE``/... environment variables (see
+:meth:`~repro.harness.session.Session.from_env`), so scripted and
+interactive invocations configure execution the same way.  Every subcommand
+prints an ASCII table; ``--csv PATH`` also writes the rows to a CSV file.
 """
 
 from __future__ import annotations
@@ -47,10 +51,10 @@ from .harness import (
     ON_ERROR_MODES,
     PAPER_CONSUMER_COUNTS,
     ConsumerSweep,
-    ExecutionPolicy,
     ExperimentConfig,
-    ResultCache,
-    run_experiment,
+    ScenarioSet,
+    Session,
+    backend_names,
     scale_link_tiers,
     sensitivity_sweep,
 )
@@ -105,38 +109,57 @@ def _axis_spec(text: str) -> tuple[str, list]:
     return path, [_axis_value(token) for token in tokens]
 
 
-def _add_policy_options(subparser: argparse.ArgumentParser) -> None:
-    subparser.add_argument(
-        "--timeout", type=_positive_float, default=None, metavar="SECONDS",
-        help="per-point wall-clock timeout; a point that exceeds it counts "
-             "as a failure (and is retried if --retries > 0)")
-    subparser.add_argument(
-        "--retries", type=_non_negative_int, default=0, metavar="N",
-        help="extra attempts per failed/timed-out point; retries re-derive "
-             "their seeds from the config, so results match a clean run")
-    subparser.add_argument(
-        "--on-error", choices=ON_ERROR_MODES, default="raise",
-        dest="on_error",
-        help="what a point that exhausts its attempts becomes: raise "
-             "aborts the sweep (default), skip drops the point, record "
-             "reports it as a failed row")
+def _execution_options() -> argparse.ArgumentParser:
+    """The shared execution-session option block, as an argparse *parent*.
 
-
-def _add_runner_options(subparser: argparse.ArgumentParser) -> None:
-    subparser.add_argument(
+    Every experiment-running subcommand inherits exactly these flags (one
+    definition instead of per-subcommand copies), and
+    :meth:`Session.from_args` turns the parsed namespace into a
+    :class:`~repro.harness.session.Session` — options left at their default
+    fall back to the ``REPRO_*`` environment variables.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group(
+        "execution", "execution-session options (unset options fall back "
+                     "to REPRO_JOBS / REPRO_BACKEND / REPRO_CACHE / "
+                     "REPRO_TIMEOUT / REPRO_RETRIES / REPRO_ON_ERROR)")
+    group.add_argument(
         "--jobs", type=_positive_int, default=None, metavar="N",
-        help="run scenario points on a process pool of N workers, N >= 1 "
-             "(bit-identical to serial execution for the same seed)")
-    subparser.add_argument(
+        help="run scenario points on N workers, N >= 1 (bit-identical to "
+             "serial execution for the same seed)")
+    group.add_argument(
+        "--backend", choices=backend_names(), default=None,
+        help="named execution backend from the registry (default: process "
+             "pool when --jobs > 1, else serial; the serial backend runs "
+             "one point at a time and ignores --jobs)")
+    group.add_argument(
         "--cache", default=None, metavar="PATH",
         help="sharded JSON result cache directory; already-computed points "
              "are reused and fresh ones are persisted incrementally as "
              "they complete (old single-file caches are migrated)")
-    subparser.add_argument(
+    group.add_argument(
         "--allow-stale", action="store_true",
         help="serve cache entries written by a different version of the "
              "repro source instead of recomputing them")
-    _add_policy_options(subparser)
+    group.add_argument(
+        "--timeout", type=_positive_float, default=None, metavar="SECONDS",
+        help="per-point wall-clock timeout; a point that exceeds it counts "
+             "as a failure (and is retried if --retries > 0)")
+    # None defaults are "not given" sentinels: an explicit `--retries 0` /
+    # `--on-error raise` must override REPRO_RETRIES/REPRO_ON_ERROR rather
+    # than being mistaken for the unset default.
+    group.add_argument(
+        "--retries", type=_non_negative_int, default=None, metavar="N",
+        help="extra attempts per failed/timed-out point (default 0); "
+             "retries re-derive their seeds from the config, so results "
+             "match a clean run")
+    group.add_argument(
+        "--on-error", choices=ON_ERROR_MODES, default=None,
+        dest="on_error",
+        help="what a point that exhausts its attempts becomes: raise "
+             "aborts the sweep (default), skip drops the point, record "
+             "reports it as a failed row")
+    return parent
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -145,19 +168,17 @@ def build_parser() -> argparse.ArgumentParser:
         description="Cross-facility data streaming architecture simulator "
                     "(DTS / PRS / MSS reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
+    execution = _execution_options()
 
     sub.add_parser("table1", help="print Table 1 (workload characteristics)")
 
-    deployment = sub.add_parser("deployment",
+    deployment = sub.add_parser("deployment", parents=[execution],
                                 help="print the architecture deployment comparison")
     deployment.add_argument("--architectures", nargs="+",
                             default=["DTS", "PRS(HAProxy)", "MSS"])
-    deployment.add_argument("--jobs", type=_positive_int, default=None,
-                            metavar="N",
-                            help="deploy architectures in parallel (N >= 1)")
-    _add_policy_options(deployment)
 
-    compare = sub.add_parser("compare", help="compare architectures on one scenario")
+    compare = sub.add_parser("compare", parents=[execution],
+                             help="compare architectures on one scenario")
     compare.add_argument("--workload", default="Dstream")
     compare.add_argument("--pattern", default="work_sharing")
     compare.add_argument("--consumers", type=int, default=4)
@@ -167,9 +188,9 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--architectures", nargs="+",
                          default=list(PAPER_ARCHITECTURES))
     compare.add_argument("--csv", default=None)
-    _add_runner_options(compare)
 
-    experiment = sub.add_parser("experiment", help="run a single experiment point")
+    experiment = sub.add_parser("experiment", parents=[execution],
+                                help="run a single experiment point")
     experiment.add_argument("--architecture", default="DTS")
     experiment.add_argument("--workload", default="Dstream")
     experiment.add_argument("--pattern", default="work_sharing")
@@ -180,9 +201,9 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=1)
     experiment.add_argument("--csv", default=None)
 
-    figure = sub.add_parser("figure", help="regenerate one of the paper's "
-                                           "figures (or the §6 bandwidth "
-                                           "ablation)")
+    figure = sub.add_parser("figure", parents=[execution],
+                            help="regenerate one of the paper's figures "
+                                 "(or the §6 bandwidth ablation)")
     figure.add_argument("name", choices=["fig4", "fig5", "fig6", "fig7",
                                          "fig8", "bandwidth"])
     figure.add_argument("--messages", type=int, default=15)
@@ -197,10 +218,10 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--runs", type=int, default=1)
     figure.add_argument("--seed", type=int, default=1)
     figure.add_argument("--csv", default=None)
-    _add_runner_options(figure)
 
     sweep = sub.add_parser(
-        "sweep", help="consumer-count sweep over several architectures")
+        "sweep", parents=[execution],
+        help="consumer-count sweep over several architectures")
     sweep.add_argument("--workload", default="Dstream")
     sweep.add_argument("--pattern", default="work_sharing")
     sweep.add_argument("--architectures", nargs="+",
@@ -213,10 +234,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--metric", default="throughput_msgs_per_s",
                        help="result attribute reported per point")
     sweep.add_argument("--csv", default=None)
-    _add_runner_options(sweep)
 
     sensitivity = sub.add_parser(
-        "sensitivity",
+        "sensitivity", parents=[execution],
         help="sweep arbitrary config/testbed axes (dotted paths) around a "
              "base scenario")
     sensitivity.add_argument(
@@ -245,7 +265,6 @@ def build_parser() -> argparse.ArgumentParser:
     sensitivity.add_argument("--metric", default="throughput_msgs_per_s",
                              help="result attribute reported per point")
     sensitivity.add_argument("--csv", default=None)
-    _add_runner_options(sensitivity)
 
     return parser
 
@@ -257,23 +276,6 @@ def _emit(rows: list[dict], *, title: str, csv_path: Optional[str]) -> None:
         print(f"\n[wrote {len(rows)} rows to {csv_path}]")
 
 
-def _cache_from(args: argparse.Namespace) -> Optional[ResultCache]:
-    if not getattr(args, "cache", None):
-        return None
-    return ResultCache(args.cache,
-                       allow_stale=getattr(args, "allow_stale", False))
-
-
-def _policy_from(args: argparse.Namespace) -> Optional[ExecutionPolicy]:
-    timeout = getattr(args, "timeout", None)
-    retries = getattr(args, "retries", 0)
-    on_error = getattr(args, "on_error", "raise")
-    if timeout is None and not retries and on_error == "raise":
-        return None
-    return ExecutionPolicy(timeout_s=timeout, retries=retries,
-                           on_error=on_error)
-
-
 def _report_failures(failures) -> None:
     if failures:
         print(format_table([failure.as_row() for failure in failures],
@@ -281,12 +283,11 @@ def _report_failures(failures) -> None:
               file=sys.stderr)
 
 
-def _cmd_compare(args: argparse.Namespace) -> int:
+def _cmd_compare(args: argparse.Namespace, session: Session) -> int:
     comparison = compare_architectures(
         workload=args.workload, pattern=args.pattern, consumers=args.consumers,
         architectures=args.architectures, messages_per_producer=args.messages,
-        runs=args.runs, seed=args.seed, jobs=args.jobs, cache=_cache_from(args),
-        policy=_policy_from(args))
+        runs=args.runs, seed=args.seed, session=session)
     _emit(comparison.rows(),
           title=f"{args.workload} / {args.pattern} @ {args.consumers} consumers",
           csv_path=args.csv)
@@ -294,7 +295,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
+def _cmd_sweep(args: argparse.Namespace, session: Session) -> int:
     producers = 1 if args.pattern.startswith("broadcast") else args.consumers[0]
     base = ExperimentConfig(
         workload=args.workload, pattern=args.pattern,
@@ -303,8 +304,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep = ConsumerSweep(
         base, architectures=args.architectures, consumer_counts=args.consumers,
         equal_producers=not args.pattern.startswith("broadcast"))
-    result = sweep.run(jobs=args.jobs, cache=_cache_from(args),
-                       policy=_policy_from(args))
+    result = sweep.run(session=session)
     _emit(result.rows(args.metric),
           title=f"{args.workload} / {args.pattern} sweep "
                 f"({', '.join(args.architectures)})",
@@ -313,7 +313,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_experiment(args: argparse.Namespace) -> int:
+def _cmd_experiment(args: argparse.Namespace, session: Session) -> int:
     producers = args.producers
     if producers is None:
         producers = 1 if args.pattern.startswith("broadcast") else args.consumers
@@ -322,15 +322,26 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         pattern=args.pattern, num_producers=producers,
         num_consumers=args.consumers, messages_per_producer=args.messages,
         runs=args.runs, seed=args.seed)
-    result = run_experiment(config)
-    _emit([result.as_row()], title="Experiment result", csv_path=args.csv)
+    # One point through the same session machinery as every sweep, so a
+    # single experiment honors --cache/--timeout/--retries too.
+    outcomes = session.run(ScenarioSet().add_config(config))
+    failed = [outcome for outcome in outcomes if not outcome.ok]
+    if failed or not outcomes:
+        for outcome in failed:
+            print(f"experiment failed after {outcome.attempts} attempt(s):\n"
+                  f"{outcome.error}", file=sys.stderr)
+        if not outcomes:  # the point failed and --on-error skip dropped it
+            print("experiment failed and was dropped by --on-error skip",
+                  file=sys.stderr)
+        return 1
+    _emit([outcomes[0].result.as_row()], title="Experiment result",
+          csv_path=args.csv)
     return 0
 
 
-def _cmd_figure(args: argparse.Namespace) -> int:
+def _cmd_figure(args: argparse.Namespace, session: Session) -> int:
     shared = dict(runs=args.runs, seed=args.seed,
-                  messages_per_producer=args.messages, jobs=args.jobs,
-                  cache=_cache_from(args), policy=_policy_from(args))
+                  messages_per_producer=args.messages, session=session)
     if args.name == "bandwidth":
         consumers = args.consumers[0] if args.consumers else 16
         data = figure_bandwidth_scaling(consumers=consumers,
@@ -347,7 +358,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_sensitivity(args: argparse.Namespace) -> int:
+def _cmd_sensitivity(args: argparse.Namespace, session: Session) -> int:
     axes: dict = {}
     if args.architectures:
         axes["architecture"] = list(args.architectures)
@@ -382,8 +393,7 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
         sweep = sensitivity_sweep(
             base, axes,
             equal_producers=not args.pattern.startswith("broadcast"),
-            transform=transform, jobs=args.jobs, cache=_cache_from(args),
-            policy=_policy_from(args))
+            transform=transform, session=session)
     except (ValueError, TypeError) as exc:
         # Unknown axis path, empty axis, or an axis value whose type the
         # config validators reject (e.g. testbed.dsn_count=three).
@@ -397,35 +407,49 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_deployment(args: argparse.Namespace, session: Session) -> int:
+    reports = deployment_comparison(args.architectures, session=session)
+    print(format_table([r.as_row() for r in reports.values()],
+                       title="Architecture deployment comparison"))
+    # Deployments return a plain mapping, so a failed architecture
+    # (on_error=skip/record) is simply absent — name the casualties.
+    missing = [label for label in dict.fromkeys(args.architectures)
+               if label not in reports]
+    if missing:
+        print(f"[{len(missing)} deployment(s) failed and were omitted: "
+              f"{', '.join(missing)}]", file=sys.stderr)
+    return 0
+
+
+_COMMANDS = {
+    "deployment": _cmd_deployment,
+    "compare": _cmd_compare,
+    "experiment": _cmd_experiment,
+    "figure": _cmd_figure,
+    "sweep": _cmd_sweep,
+    "sensitivity": _cmd_sensitivity,
+}
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "table1":
         print(table1_text())
         return 0
-    if args.command == "deployment":
-        reports = deployment_comparison(args.architectures, jobs=args.jobs,
-                                        policy=_policy_from(args))
-        print(format_table([r.as_row() for r in reports.values()],
-                           title="Architecture deployment comparison"))
-        # Deployments return a plain mapping, so a failed architecture
-        # (on_error=skip/record) is simply absent — name the casualties.
-        missing = [label for label in dict.fromkeys(args.architectures)
-                   if label not in reports]
-        if missing:
-            print(f"[{len(missing)} deployment(s) failed and were omitted: "
-                  f"{', '.join(missing)}]", file=sys.stderr)
-        return 0
-    if args.command == "compare":
-        return _cmd_compare(args)
-    if args.command == "experiment":
-        return _cmd_experiment(args)
-    if args.command == "figure":
-        return _cmd_figure(args)
-    if args.command == "sweep":
-        return _cmd_sweep(args)
-    if args.command == "sensitivity":
-        return _cmd_sensitivity(args)
-    return 1
+    handler = _COMMANDS.get(args.command)
+    if handler is None:
+        return 1
+    # One session per invocation: CLI flags overlay REPRO_* env vars, and
+    # leaving the block flushes any dirty cache shards.
+    try:
+        session = Session.from_args(args)
+    except ValueError as exc:
+        # Bad REPRO_* values deserve the same clean diagnostic as bad
+        # flags (which argparse already rejects at parse time).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with session:
+        return handler(args, session)
 
 
 if __name__ == "__main__":  # pragma: no cover

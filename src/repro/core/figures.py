@@ -33,6 +33,7 @@ from ..harness import (
     ExecutionPolicy,
     ExperimentConfig,
     ScenarioSet,
+    Session,
     SweepResult,
     run_scenarios,
     scale_link_tiers,
@@ -110,33 +111,27 @@ def _base_config(workload: str, pattern: str, *, messages_per_producer: int,
 
 
 def _sweep(workload: str, pattern: str, architectures: Sequence[str],
-           consumer_counts: Iterable[int], *, messages_per_producer: int,
-           runs: int, seed: int, testbed: Optional[TestbedConfig],
-           equal_producers: bool = True,
-           jobs: Optional[int] = None,
-           backend: Optional[ExecutionBackend] = None,
-           cache: Optional["ResultCache"] = None,
-           policy: Optional[ExecutionPolicy] = None, **overrides) -> SweepResult:
+           consumer_counts: Iterable[int], *, session: Session,
+           messages_per_producer: int, runs: int, seed: int,
+           testbed: Optional[TestbedConfig],
+           equal_producers: bool = True, **overrides) -> SweepResult:
     base = _base_config(workload, pattern, messages_per_producer=messages_per_producer,
                         runs=runs, seed=seed, testbed=testbed, **overrides)
     sweep = ConsumerSweep(base, architectures=architectures,
                           consumer_counts=consumer_counts,
                           equal_producers=equal_producers)
-    return sweep.run(jobs=jobs, backend=backend, cache=cache, policy=policy)
+    return sweep.run(session=session)
 
 
 def _sweep_grid(workloads: Sequence[str], patterns: Sequence[str],
                 architectures: Sequence[str], consumer_counts: Iterable[int],
-                *, messages_per_producer: int, runs: int, seed: int,
-                testbed: Optional[TestbedConfig], equal_producers: bool = True,
-                jobs: Optional[int] = None,
-                backend: Optional[ExecutionBackend] = None,
-                cache: Optional["ResultCache"] = None,
-                policy: Optional[ExecutionPolicy] = None,
+                *, session: Session, messages_per_producer: int, runs: int,
+                seed: int, testbed: Optional[TestbedConfig],
+                equal_producers: bool = True,
                 **overrides) -> dict[tuple[str, str], SweepResult]:
     """Sweeps for every (workload, pattern) cell, executed as ONE scenario
-    grid so a process pool parallelizes across all of a figure's points, not
-    just within one sweep."""
+    grid so a parallel session fans out across all of a figure's points,
+    not just within one sweep."""
     consumer_counts = tuple(consumer_counts)
     base = _base_config(workloads[0], patterns[0],
                         messages_per_producer=messages_per_producer,
@@ -152,8 +147,7 @@ def _sweep_grid(workloads: Sequence[str], patterns: Sequence[str],
             sweeps[(workload, pattern)] = SweepResult(
                 workload=workload, pattern=pattern,
                 consumer_counts=consumer_counts)
-    for outcome in run_scenarios(scenarios, jobs=jobs, backend=backend,
-                                 cache=cache, policy=policy):
+    for outcome in run_scenarios(scenarios, session=session):
         axes = outcome.point.axes
         sweep = sweeps[(axes["workload"], axes["pattern"])]
         if not outcome.ok:
@@ -191,20 +185,22 @@ def figure4(*, workloads: Sequence[str] = ("Dstream", "Lstream"),
             messages_per_producer: int = 20,
             runs: int = 1, seed: int = 1,
             testbed: Optional[TestbedConfig] = None,
+            session: Optional[Session] = None,
             jobs: Optional[int] = None,
             backend: Optional[ExecutionBackend] = None,
             cache: Optional["ResultCache"] = None,
             policy: Optional[ExecutionPolicy] = None) -> FigureData:
     """Throughput (msgs/s) under the work sharing pattern (Figure 4)."""
+    session = Session.resolve(session, backend=backend, jobs=jobs,
+                              cache=cache, policy=policy, where="figure4")
     data = FigureData(
         figure="figure4",
         description="Aggregate consumer throughput vs consumer count, "
                     "work sharing pattern (Dstream and Lstream)")
     sweeps = _sweep_grid(list(workloads), ["work_sharing"], architectures,
-                         consumer_counts,
+                         consumer_counts, session=session,
                          messages_per_producer=messages_per_producer, runs=runs,
-                         seed=seed, testbed=testbed, jobs=jobs, backend=backend,
-                         cache=cache, policy=policy)
+                         seed=seed, testbed=testbed)
     for workload in workloads:
         sweep = sweeps[(workload, "work_sharing")]
         data.sweeps[workload] = sweep
@@ -222,20 +218,22 @@ def figure6(*, workloads: Sequence[str] = ("Dstream", "Lstream"),
             messages_per_producer: int = 15,
             runs: int = 1, seed: int = 1,
             testbed: Optional[TestbedConfig] = None,
+            session: Optional[Session] = None,
             jobs: Optional[int] = None,
             backend: Optional[ExecutionBackend] = None,
             cache: Optional["ResultCache"] = None,
             policy: Optional[ExecutionPolicy] = None) -> FigureData:
     """Median RTT under work sharing with feedback (Figure 6)."""
+    session = Session.resolve(session, backend=backend, jobs=jobs,
+                              cache=cache, policy=policy, where="figure6")
     data = FigureData(
         figure="figure6",
         description="Median per-message RTT vs consumer count, "
                     "work sharing with feedback (Dstream and Lstream)")
     sweeps = _sweep_grid(list(workloads), ["work_sharing_feedback"],
-                         architectures, consumer_counts,
+                         architectures, consumer_counts, session=session,
                          messages_per_producer=messages_per_producer, runs=runs,
-                         seed=seed, testbed=testbed, jobs=jobs, backend=backend,
-                         cache=cache, policy=policy)
+                         seed=seed, testbed=testbed)
     for workload in workloads:
         sweep = sweeps[(workload, "work_sharing_feedback")]
         data.sweeps[workload] = sweep
@@ -249,17 +247,19 @@ def figure5(*, workloads: Sequence[str] = ("Dstream", "Lstream"),
             messages_per_producer: int = 15,
             runs: int = 1, seed: int = 1, cdf_points: int = 100,
             testbed: Optional[TestbedConfig] = None,
+            session: Optional[Session] = None,
             jobs: Optional[int] = None,
             backend: Optional[ExecutionBackend] = None,
             cache: Optional["ResultCache"] = None,
             policy: Optional[ExecutionPolicy] = None) -> FigureData:
     """CDFs of per-message RTT under work sharing with feedback (Figure 5)."""
+    session = Session.resolve(session, backend=backend, jobs=jobs,
+                              cache=cache, policy=policy, where="figure5")
     consumer_counts = tuple(consumer_counts)
     data = figure6(workloads=workloads, architectures=architectures,
                    consumer_counts=consumer_counts,
                    messages_per_producer=messages_per_producer, runs=runs,
-                   seed=seed, testbed=testbed, jobs=jobs, backend=backend,
-                   cache=cache, policy=policy)
+                   seed=seed, testbed=testbed, session=session)
     data.figure = "figure5"
     data.description = ("CDF of individual message RTTs, work sharing with "
                         "feedback (Dstream and Lstream), 1-64 consumers")
@@ -277,20 +277,22 @@ def figure7(*, architectures: Sequence[str] = BROADCAST_ARCHITECTURES,
             messages_per_producer: int = 6,
             runs: int = 1, seed: int = 1,
             testbed: Optional[TestbedConfig] = None,
+            session: Optional[Session] = None,
             jobs: Optional[int] = None,
             backend: Optional[ExecutionBackend] = None,
             cache: Optional["ResultCache"] = None,
             policy: Optional[ExecutionPolicy] = None) -> FigureData:
     """Broadcast throughput and broadcast+gather median RTT (Figure 7)."""
+    session = Session.resolve(session, backend=backend, jobs=jobs,
+                              cache=cache, policy=policy, where="figure7")
     data = FigureData(
         figure="figure7",
         description="(a) broadcast throughput and (b) broadcast+gather median "
                     "RTT for the generic workload")
     sweeps = _sweep_grid(["Generic"], ["broadcast", "broadcast_gather"],
-                         architectures, consumer_counts,
+                         architectures, consumer_counts, session=session,
                          messages_per_producer=messages_per_producer, runs=runs,
-                         seed=seed, testbed=testbed, equal_producers=False,
-                         jobs=jobs, backend=backend, cache=cache, policy=policy)
+                         seed=seed, testbed=testbed, equal_producers=False)
     broadcast = sweeps[("Generic", "broadcast")]
     gather = sweeps[("Generic", "broadcast_gather")]
     data.sweeps["broadcast"] = broadcast
@@ -309,20 +311,23 @@ def figure8(*, architectures: Sequence[str] = BROADCAST_ARCHITECTURES,
             messages_per_producer: int = 6,
             runs: int = 1, seed: int = 1, cdf_points: int = 100,
             testbed: Optional[TestbedConfig] = None,
+            session: Optional[Session] = None,
             jobs: Optional[int] = None,
             backend: Optional[ExecutionBackend] = None,
             cache: Optional["ResultCache"] = None,
             policy: Optional[ExecutionPolicy] = None) -> FigureData:
     """CDFs of per-message RTT under broadcast and gather (Figure 8)."""
+    session = Session.resolve(session, backend=backend, jobs=jobs,
+                              cache=cache, policy=policy, where="figure8")
     consumer_counts = tuple(consumer_counts)
     data = FigureData(
         figure="figure8",
         description="CDF of individual message RTTs, broadcast and gather "
                     "(generic workload), 1-64 consumers")
     sweep = _sweep("Generic", "broadcast_gather", architectures, consumer_counts,
+                   session=session,
                    messages_per_producer=messages_per_producer, runs=runs,
-                   seed=seed, testbed=testbed, equal_producers=False,
-                   jobs=jobs, backend=backend, cache=cache, policy=policy)
+                   seed=seed, testbed=testbed, equal_producers=False)
     data.sweeps["Generic"] = sweep
     data.cdfs["Generic"] = _collect_cdfs(sweep, consumer_counts, cdf_points)
     data.rows.extend(sweep.rows("median_rtt_s"))
@@ -341,6 +346,7 @@ def figure_bandwidth_scaling(*, workload: str = "Lstream",
                              runs: int = 1, seed: int = 1,
                              testbed: Optional[TestbedConfig] = None,
                              scale_backbone: bool = True,
+                             session: Optional[Session] = None,
                              jobs: Optional[int] = None,
                              backend: Optional[ExecutionBackend] = None,
                              cache: Optional["ResultCache"] = None,
@@ -357,6 +363,9 @@ def figure_bandwidth_scaling(*, workload: str = "Lstream",
     links (via :meth:`TestbedConfig.with_link_bandwidth`) so the sweep
     changes the operating point, not the topology shape.
     """
+    session = Session.resolve(session, backend=backend, jobs=jobs,
+                              cache=cache, policy=policy,
+                              where="figure_bandwidth_scaling")
     base = _base_config(workload, "work_sharing",
                         messages_per_producer=messages_per_producer,
                         runs=runs, seed=seed, testbed=testbed)
@@ -367,8 +376,7 @@ def figure_bandwidth_scaling(*, workload: str = "Lstream",
         base,
         {"architecture": list(architectures),
          axis: [speed * 1e9 for speed in speeds_gbps]},
-        transform=transform, jobs=jobs, backend=backend, cache=cache,
-        policy=policy)
+        transform=transform, session=session)
     data = FigureData(
         figure="bandwidth",
         description=f"Aggregate throughput vs access-link bandwidth, "
@@ -447,47 +455,71 @@ def ablation_tunnel_type(*, workload: str = "Dstream",
                          consumer_counts: Iterable[int] = (1, 4, 16),
                          messages_per_producer: int = 15, seed: int = 1,
                          testbed: Optional[TestbedConfig] = None,
+                         session: Optional[Session] = None,
                          jobs: Optional[int] = None,
+                         backend: Optional[ExecutionBackend] = None,
+                         cache: Optional["ResultCache"] = None,
                          policy: Optional[ExecutionPolicy] = None) -> SweepResult:
     """PRS tunnel choice: Stunnel vs HAProxy vs Nginx."""
+    session = Session.resolve(session, backend=backend, jobs=jobs,
+                              cache=cache, policy=policy,
+                              where="ablation_tunnel_type")
     return _sweep(workload, "work_sharing",
                   ["PRS(Stunnel)", "PRS(HAProxy)", "PRS(Nginx)"],
-                  consumer_counts, messages_per_producer=messages_per_producer,
-                  runs=1, seed=seed, testbed=testbed, jobs=jobs, policy=policy)
+                  consumer_counts, session=session,
+                  messages_per_producer=messages_per_producer,
+                  runs=1, seed=seed, testbed=testbed)
 
 
 def ablation_proxy_connections(*, workload: str = "Dstream",
                                consumer_counts: Iterable[int] = (1, 4, 16),
                                messages_per_producer: int = 15, seed: int = 1,
                                testbed: Optional[TestbedConfig] = None,
+                               session: Optional[Session] = None,
                                jobs: Optional[int] = None,
+                               backend: Optional[ExecutionBackend] = None,
+                               cache: Optional["ResultCache"] = None,
                                policy: Optional[ExecutionPolicy] = None
                                ) -> SweepResult:
     """Number of parallel connections to the PRS proxies (1 vs 4)."""
+    session = Session.resolve(session, backend=backend, jobs=jobs,
+                              cache=cache, policy=policy,
+                              where="ablation_proxy_connections")
     return _sweep(workload, "work_sharing",
                   ["PRS(HAProxy)", "PRS(HAProxy,4conns)"],
-                  consumer_counts, messages_per_producer=messages_per_producer,
-                  runs=1, seed=seed, testbed=testbed, jobs=jobs, policy=policy)
+                  consumer_counts, session=session,
+                  messages_per_producer=messages_per_producer,
+                  runs=1, seed=seed, testbed=testbed)
 
 
 def ablation_mss_lb_bypass(*, workload: str = "Dstream",
                            consumer_counts: Iterable[int] = (4, 16, 64),
                            messages_per_producer: int = 15, seed: int = 1,
                            testbed: Optional[TestbedConfig] = None,
+                           session: Optional[Session] = None,
                            jobs: Optional[int] = None,
+                           backend: Optional[ExecutionBackend] = None,
+                           cache: Optional["ResultCache"] = None,
                            policy: Optional[ExecutionPolicy] = None
                            ) -> SweepResult:
     """§6 improvement: internal consumers bypass the MSS load balancer."""
+    session = Session.resolve(session, backend=backend, jobs=jobs,
+                              cache=cache, policy=policy,
+                              where="ablation_mss_lb_bypass")
     return _sweep(workload, "work_sharing", ["MSS", "MSS(bypass)"],
-                  consumer_counts, messages_per_producer=messages_per_producer,
-                  runs=1, seed=seed, testbed=testbed, jobs=jobs, policy=policy)
+                  consumer_counts, session=session,
+                  messages_per_producer=messages_per_producer,
+                  runs=1, seed=seed, testbed=testbed)
 
 
 def ablation_link_speed(*, workload: str = "Lstream",
                         consumers: int = 16,
                         messages_per_producer: int = 10, seed: int = 1,
                         speeds_gbps: Sequence[float] = (1, 10, 100),
+                        session: Optional[Session] = None,
                         jobs: Optional[int] = None,
+                        backend: Optional[ExecutionBackend] = None,
+                        cache: Optional["ResultCache"] = None,
                         policy: Optional[ExecutionPolicy] = None) -> list[dict]:
     """§6: what the 100 Gbps interfaces would buy each architecture.
 
@@ -495,10 +527,13 @@ def ablation_link_speed(*, workload: str = "Lstream",
     historical row shape (architecture-major order since the sweep moved to
     the product grid).
     """
+    session = Session.resolve(session, backend=backend, jobs=jobs,
+                              cache=cache, policy=policy,
+                              where="ablation_link_speed")
     data = figure_bandwidth_scaling(
         workload=workload, consumers=consumers, speeds_gbps=speeds_gbps,
-        messages_per_producer=messages_per_producer, seed=seed, jobs=jobs,
-        policy=policy)
+        messages_per_producer=messages_per_producer, seed=seed,
+        session=session)
     return [{"link_gbps": row["link_gbps"],
              "architecture": row["architecture"],
              "consumers": row["consumers"],
@@ -511,10 +546,16 @@ def ablation_work_queue_count(*, workload: str = "Dstream",
                               queue_counts: Sequence[int] = (1, 2, 4),
                               messages_per_producer: int = 20,
                               seed: int = 1,
+                              session: Optional[Session] = None,
                               jobs: Optional[int] = None,
+                              backend: Optional[ExecutionBackend] = None,
+                              cache: Optional["ResultCache"] = None,
                               policy: Optional[ExecutionPolicy] = None
                               ) -> list[dict]:
     """§5.2: the two-shared-work-queues choice vs one or four queues."""
+    session = Session.resolve(session, backend=backend, jobs=jobs,
+                              cache=cache, policy=policy,
+                              where="ablation_work_queue_count")
     scenarios = ScenarioSet()
     for queue_count in queue_counts:
         config = ExperimentConfig(
@@ -527,7 +568,7 @@ def ablation_work_queue_count(*, workload: str = "Dstream",
     return [{"work_queues": outcome.point.axes["work_queues"],
              "consumers": consumers,
              "throughput_msgs_per_s": outcome.result.throughput_msgs_per_s}
-            for outcome in run_scenarios(scenarios, jobs=jobs, policy=policy)
+            for outcome in run_scenarios(scenarios, session=session)
             if outcome.ok]
 
 
@@ -536,10 +577,17 @@ def ablation_network_layer_forwarding(*, workload: str = "Dstream",
                                       messages_per_producer: int = 15,
                                       seed: int = 1,
                                       testbed: Optional[TestbedConfig] = None,
+                                      session: Optional[Session] = None,
                                       jobs: Optional[int] = None,
+                                      backend: Optional[ExecutionBackend] = None,
+                                      cache: Optional["ResultCache"] = None,
                                       policy: Optional[ExecutionPolicy] = None
                                       ) -> SweepResult:
     """§6 future work: network-layer forwarding (EJFAT-style) vs DTS/PRS."""
+    session = Session.resolve(session, backend=backend, jobs=jobs,
+                              cache=cache, policy=policy,
+                              where="ablation_network_layer_forwarding")
     return _sweep(workload, "work_sharing", ["DTS", "NLF", "PRS(HAProxy)"],
-                  consumer_counts, messages_per_producer=messages_per_producer,
-                  runs=1, seed=seed, testbed=testbed, jobs=jobs, policy=policy)
+                  consumer_counts, session=session,
+                  messages_per_producer=messages_per_producer,
+                  runs=1, seed=seed, testbed=testbed)

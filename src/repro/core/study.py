@@ -21,6 +21,7 @@ from ..harness import (
     ExperimentResult,
     PointFailure,
     ScenarioSet,
+    Session,
     run_scenarios,
 )
 from ..metrics import OverheadResult, overhead_table
@@ -124,6 +125,7 @@ def compare_architectures(*, workload: str = "Dstream",
                           baseline: str = BASELINE_ARCHITECTURE,
                           testbed: Optional[TestbedConfig] = None,
                           axes: Optional[dict] = None,
+                          session: Optional[Session] = None,
                           jobs: Optional[int] = None,
                           backend: Optional[ExecutionBackend] = None,
                           cache: Optional["ResultCache"] = None,
@@ -133,11 +135,14 @@ def compare_architectures(*, workload: str = "Dstream",
 
     Returns a :class:`ComparisonResult` whose ``results`` map architecture
     labels to averaged :class:`~repro.harness.results.ExperimentResult`.
-    ``jobs > 1`` runs the architectures in parallel through the unified
-    scenario runner; results are identical to serial execution.  ``policy``
-    adds per-point timeout/retry handling; with ``on_error="record"`` a
-    crashed architecture lands in ``ComparisonResult.failures`` instead of
-    aborting the comparison.
+    ``session`` carries the execution context; a parallel session runs the
+    architectures concurrently through the unified scenario runner with
+    results identical to serial execution, and under a session policy with
+    ``on_error="record"`` a crashed architecture lands in
+    ``ComparisonResult.failures`` instead of aborting the comparison.  The
+    ``jobs``/``backend``/``cache``/``policy`` keywords are the deprecated
+    pre-session bundle (they build a session internally and warn once per
+    process).
 
     ``axes`` forwards extra sweep axes to
     :meth:`~repro.harness.ScenarioSet.product` (dotted config paths such as
@@ -146,6 +151,9 @@ def compare_architectures(*, workload: str = "Dstream",
     the same coordinate*; results land in ``ComparisonResult.grid`` and
     :meth:`ComparisonResult.rows` gains one column per axis.
     """
+    session = Session.resolve(session, backend=backend, jobs=jobs,
+                              cache=cache, policy=policy,
+                              where="compare_architectures")
     if pattern in ("broadcast", "broadcast_gather"):
         producer_count = 1
     else:
@@ -181,8 +189,7 @@ def compare_architectures(*, workload: str = "Dstream",
                                      architectures=list(architectures),
                                      equal_producers=False)
         axis_names = ()
-    for outcome in run_scenarios(scenarios, jobs=jobs, backend=backend,
-                                 cache=cache, policy=policy):
+    for outcome in run_scenarios(scenarios, session=session):
         if not outcome.ok:
             comparison.failures.append(PointFailure(
                 label=outcome.point.label, axes=dict(outcome.point.axes),
@@ -198,6 +205,7 @@ def compare_architectures(*, workload: str = "Dstream",
 
 def deployment_comparison(architectures: Iterable[str] = PAPER_ARCHITECTURES, *,
                           testbed_config: Optional[TestbedConfig] = None,
+                          session: Optional[Session] = None,
                           jobs: Optional[int] = None,
                           backend: Optional[ExecutionBackend] = None,
                           policy: Optional[ExecutionPolicy] = None
@@ -207,14 +215,18 @@ def deployment_comparison(architectures: Iterable[str] = PAPER_ARCHITECTURES, *,
     This regenerates the qualitative §2/§6 comparison — hop counts, firewall
     rules, exposed ports, administrative and user steps — from real deployed
     objects rather than prose.  Each architecture deploys on its own testbed
-    with a distinct derived seed so the placements are independent.  Under a
-    non-raising ``policy`` a crashed deployment is simply absent from the
-    returned mapping.
+    with a distinct derived seed so the placements are independent.
+    ``session`` carries the execution context (deployment points are never
+    cached, so a session cache is simply unused here); under a non-raising
+    session policy a crashed deployment is simply absent from the returned
+    mapping.  ``jobs``/``backend``/``policy`` are the deprecated
+    pre-session bundle.
     """
+    session = Session.resolve(session, backend=backend, jobs=jobs,
+                              policy=policy, where="deployment_comparison")
     config = testbed_config or TestbedConfig(producer_nodes=2, consumer_nodes=2)
     base = ExperimentConfig(testbed=config, seed=config.seed)
     scenarios = ScenarioSet.deployments(list(architectures), base)
     return {outcome.point.label: outcome.result
-            for outcome in run_scenarios(scenarios, jobs=jobs, backend=backend,
-                                         policy=policy)
+            for outcome in run_scenarios(scenarios, session=session)
             if outcome.ok}

@@ -1,10 +1,15 @@
 """StreamSim-equivalent experiment harness: configs, coordinator, runner,
-sweeps and result containers.
+sessions, sweeps and result containers.
 
 Everything that "runs many experiment points" — consumer sweeps,
 architecture comparisons, figure regeneration, the CLI — goes through the
-unified scenario runner in :mod:`repro.harness.runner`; pass ``jobs=N`` to
-any of them to fan the points out over a process pool.
+unified scenario runner in :mod:`repro.harness.runner`.  Execution context
+(named backend, result cache, execution policy, progress) travels as one
+:class:`~repro.harness.session.Session` object: build it once (directly,
+from ``REPRO_*`` environment variables via :meth:`Session.from_env`, or
+from CLI args via :meth:`Session.from_args`) and pass ``session=`` to any
+entry point; the historical ``jobs/backend/cache/policy`` keyword bundle
+still works as a deprecated shim.
 """
 
 from .cache import ResultCache, code_fingerprint
@@ -14,6 +19,7 @@ from .experiment import Experiment, run_experiment
 from .results import ExperimentResult, PointFailure, RunResult
 from .runner import (
     ON_ERROR_MODES,
+    BackendFactory,
     ExecutionBackend,
     ExecutionPolicy,
     PointOutcome,
@@ -23,9 +29,15 @@ from .runner import (
     ScenarioPoint,
     ScenarioSet,
     SerialBackend,
+    ThreadPoolBackend,
+    backend_names,
+    create_backend,
+    register_backend,
     resolve_backend,
     run_scenarios,
+    unregister_backend,
 )
+from .session import ENV_PREFIX, Session
 from .sweep import (
     PAPER_CONSUMER_COUNTS,
     ConsumerSweep,
@@ -60,8 +72,16 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "ThreadPoolBackend",
+    "BackendFactory",
+    "register_backend",
+    "unregister_backend",
+    "backend_names",
+    "create_backend",
     "resolve_backend",
     "run_scenarios",
+    "Session",
+    "ENV_PREFIX",
     "ResultCache",
     "code_fingerprint",
 ]

@@ -10,23 +10,33 @@ module is the single place where that grid is executed:
 * :class:`ScenarioSet` — builder API for grids and sweeps, with a
   deterministic point order.
 * :class:`ExecutionBackend` — how the points run: :class:`SerialBackend`
-  (in-process, the reference semantics) or :class:`ProcessPoolBackend`
-  (chunked ``multiprocessing``).  Every simulation seeds its own random
+  (in-process, the reference semantics), :class:`ProcessPoolBackend`
+  (chunked ``multiprocessing``) or :class:`ThreadPoolBackend` (a thread
+  pool, for I/O-light points).  Every simulation seeds its own random
   streams from the config, so parallel execution is bit-identical to serial
   for the same seeds; outcomes are always returned in submission order.
+  Backends are addressable by *name* through a registry
+  (:func:`register_backend` / :func:`resolve_backend`), which is how future
+  distributed backends (``"ssh"``, ``"slurm"``) plug in without growing any
+  call signature — they must honor the same :class:`ExecutionPolicy`
+  contract in their workers.
 * :func:`run_scenarios` — the one entry point used by
   :class:`~repro.harness.sweep.ConsumerSweep`,
   :func:`~repro.core.study.compare_architectures`,
   :func:`~repro.core.study.deployment_comparison`, the figure generators and
-  the CLI.
+  the CLI.  Execution context (backend, cache, policy, progress) is carried
+  by a :class:`~repro.harness.session.Session`; the historical
+  ``jobs/backend/cache/policy`` keyword bundle still works as a deprecated
+  shim that builds a session internally.
 
 Results can be cached to disk (:class:`~repro.harness.cache.ResultCache`) and
-reused by figure regeneration: pass ``cache=`` to :func:`run_scenarios` and
+reused by figure regeneration: run under a ``Session(cache=...)`` and
 already-computed points are loaded instead of re-simulated.
 """
 
 from __future__ import annotations
 
+import concurrent.futures
 import hashlib
 import itertools
 import json
@@ -46,6 +56,7 @@ from typing import (
     Optional,
     Protocol,
     Sequence,
+    Union,
     runtime_checkable,
 )
 
@@ -56,6 +67,7 @@ from .results import ExperimentResult
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .cache import ResultCache
+    from .session import Session
 
 __all__ = [
     "ScenarioPoint",
@@ -68,6 +80,12 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "ThreadPoolBackend",
+    "BackendFactory",
+    "register_backend",
+    "unregister_backend",
+    "backend_names",
+    "create_backend",
     "resolve_backend",
     "run_scenarios",
 ]
@@ -635,9 +653,127 @@ class ProcessPoolBackend:
         return [slot for slot in slots if slot is not None]
 
 
-def resolve_backend(backend: Optional[ExecutionBackend] = None,
+class ThreadPoolBackend:
+    """Thread-pool backend for I/O-light points (no process start-up cost).
+
+    Points run on ``jobs`` worker threads via the same indexed worker as the
+    process pool, and results are reassembled into submission order, so the
+    output is bit-identical to :class:`SerialBackend` for the same seeds
+    (every simulation derives all randomness from its own config — no
+    process- or thread-global state).  ``on_result``/``progress`` fire in
+    the submitting thread, in completion order, mirroring
+    :class:`ProcessPoolBackend`.
+
+    Caveat: ``ExecutionPolicy.timeout_s`` is enforced with ``SIGALRM``,
+    which only works on the process's main thread — under this backend an
+    attempt runs unbounded instead (retries and ``on_error`` handling are
+    unaffected).  Simulations are CPU-bound pure Python, so the GIL limits
+    speed-up; prefer ``"process"`` for wide sweeps and this backend where
+    fork/spawn overhead dominates tiny points.
+    """
+
+    def __init__(self, jobs: Optional[int] = None) -> None:
+        self.jobs = jobs or os.cpu_count() or 1
+
+    def run(self, points: Sequence[ScenarioPoint],
+            progress: Optional[Callable[[ScenarioPoint], None]] = None, *,
+            policy: Optional[ExecutionPolicy] = None,
+            on_result: Optional[ResultCallback] = None
+            ) -> list[tuple[bool, Any, int]]:
+        if not points:
+            return []
+        if self.jobs <= 1 or len(points) == 1:
+            return SerialBackend().run(points, progress, policy=policy,
+                                       on_result=on_result)
+        slots: list[Optional[tuple[bool, Any, int]]] = [None] * len(points)
+        with concurrent.futures.ThreadPoolExecutor(
+                max_workers=min(self.jobs, len(points))) as pool:
+            futures = [pool.submit(_execute_indexed, (index, point, policy))
+                       for index, point in enumerate(points)]
+            for future in concurrent.futures.as_completed(futures):
+                index, ok, value, attempts = future.result()
+                slots[index] = (ok, value, attempts)
+                # Same discipline as the process pool: persist before the
+                # user callback so a raising progress hook loses nothing.
+                if on_result is not None:
+                    on_result(index, ok, value, attempts)
+                if progress is not None:
+                    progress(points[index])
+        return [slot for slot in slots if slot is not None]
+
+
+# ---------------------------------------------------------------------------
+# Named-backend registry
+# ---------------------------------------------------------------------------
+
+#: A backend factory takes ``jobs`` (worker count or None) and returns a
+#: ready :class:`ExecutionBackend`.
+BackendFactory = Callable[..., ExecutionBackend]
+
+_BACKEND_REGISTRY: dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory, *,
+                     overwrite: bool = False) -> None:
+    """Register a backend factory under a name usable everywhere a backend
+    is accepted (``Session(backend="process")``, ``--backend process``,
+    :func:`resolve_backend`).
+
+    ``factory`` is called as ``factory(jobs=N_or_None)`` and must return an
+    object satisfying the :class:`ExecutionBackend` protocol *and* the
+    :class:`ExecutionPolicy` contract (per-point timeout/retry enforced in
+    its workers, outcomes in submission order) — that contract, not the
+    transport, is what makes a backend a drop-in registry entry; future
+    distributed backends (``"ssh"``, ``"slurm"``) register here instead of
+    adding kwargs to every entry point.  Re-registering an existing name
+    raises unless ``overwrite=True``.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError("backend name must be a non-empty string")
+    if name in _BACKEND_REGISTRY and not overwrite:
+        raise ValueError(f"backend {name!r} is already registered; pass "
+                         f"overwrite=True to replace it")
+    _BACKEND_REGISTRY[name] = factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a registered backend name (unknown names are a no-op)."""
+    _BACKEND_REGISTRY.pop(name, None)
+
+
+def backend_names() -> tuple[str, ...]:
+    """The registered backend names, sorted."""
+    return tuple(sorted(_BACKEND_REGISTRY))
+
+
+def create_backend(name: str, *, jobs: Optional[int] = None
+                   ) -> ExecutionBackend:
+    """Build a backend from its registered name."""
+    try:
+        factory = _BACKEND_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; registered backends: "
+            f"{', '.join(backend_names())}") from None
+    backend = factory(jobs=jobs)
+    if not isinstance(backend, ExecutionBackend):
+        raise TypeError(f"backend factory {name!r} returned "
+                        f"{type(backend).__name__}, which does not "
+                        f"implement the ExecutionBackend protocol")
+    return backend
+
+
+register_backend("serial", lambda jobs=None: SerialBackend())
+register_backend("process", lambda jobs=None: ProcessPoolBackend(jobs))
+register_backend("thread", lambda jobs=None: ThreadPoolBackend(jobs))
+
+
+def resolve_backend(backend: Union[ExecutionBackend, str, None] = None,
                     jobs: Optional[int] = None) -> ExecutionBackend:
-    """Pick a backend: explicit wins, then ``jobs > 1`` => process pool."""
+    """Pick a backend: an explicit instance wins, a registry name is built
+    with ``jobs``, then ``jobs > 1`` => process pool, else serial."""
+    if isinstance(backend, str):
+        return create_backend(backend, jobs=jobs)
     if backend is not None:
         return backend
     if jobs is not None and jobs > 1:
@@ -650,7 +786,8 @@ def resolve_backend(backend: Optional[ExecutionBackend] = None,
 # ---------------------------------------------------------------------------
 
 def run_scenarios(scenarios: Iterable[ScenarioPoint], *,
-                  backend: Optional[ExecutionBackend] = None,
+                  session: Optional["Session"] = None,
+                  backend: Union[ExecutionBackend, str, None] = None,
                   jobs: Optional[int] = None,
                   progress: Optional[Callable[[ScenarioPoint], None]] = None,
                   cache: Optional["ResultCache"] = None,
@@ -658,22 +795,35 @@ def run_scenarios(scenarios: Iterable[ScenarioPoint], *,
                   ) -> list[PointOutcome]:
     """Execute scenario points and return outcomes in submission order.
 
-    ``cache`` (a :class:`~repro.harness.cache.ResultCache`) short-circuits
-    points whose results are already on disk and records fresh ones; only
-    "experiment" points are cacheable.  Fresh results are persisted to the
-    cache file *as they complete* (not just at the end), so a sweep killed
-    midway can be resumed from the points already on disk.
+    ``session`` (a :class:`~repro.harness.session.Session`) carries the
+    whole execution context — backend, result cache, execution policy and a
+    default progress callback.  The legacy ``backend``/``jobs``/``cache``/
+    ``policy`` keywords are a deprecation shim: they build a session
+    internally and warn once per process; passing both styles is an error.
 
-    ``policy`` (an :class:`ExecutionPolicy`) adds per-point timeout and
-    retries, and chooses what exhausted points become: with ``on_error=
-    "raise"`` (the default, and the behavior without a policy) the first
-    failure in submission order raises :class:`ScenarioError` regardless of
-    backend; ``"skip"`` drops failed points, keeping the survivors in
-    submission order; ``"record"`` returns them as failed
+    The session's cache short-circuits points whose results are already on
+    disk and records fresh ones; only "experiment" points are cacheable.
+    Fresh results are persisted *as they complete* (not just at the end),
+    so a sweep killed midway can be resumed from the points on disk.
+
+    The session's policy (an :class:`ExecutionPolicy`) adds per-point
+    timeout and retries, and chooses what exhausted points become: with
+    ``on_error="raise"`` (the default, and the behavior without a policy)
+    the first failure in submission order raises :class:`ScenarioError`
+    regardless of backend; ``"skip"`` drops failed points, keeping the
+    survivors in submission order; ``"record"`` returns them as failed
     :class:`PointOutcome` objects (``result=None``, ``error`` set).
     """
+    from .session import Session
+    session = Session.resolve(session, backend=backend, jobs=jobs,
+                              cache=cache, policy=policy,
+                              where="run_scenarios")
+    backend = session.backend
+    cache = session.cache
+    policy = session.policy
+    if progress is None:
+        progress = session.progress
     points = list(scenarios)
-    backend = resolve_backend(backend, jobs)
     on_error = policy.on_error if policy is not None else "raise"
 
     outcomes: list[Optional[PointOutcome]] = [None] * len(points)

@@ -30,6 +30,7 @@ from .runner import (
     ScenarioSet,
     run_scenarios,
 )
+from .session import Session
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .cache import ResultCache
@@ -115,6 +116,7 @@ class ConsumerSweep:
             equal_producers=self.equal_producers)
 
     def run(self, *,
+            session: Optional[Session] = None,
             progress: Optional[Callable[[str, Optional[int], dict],
                                         None]] = None,
             jobs: Optional[int] = None,
@@ -123,29 +125,35 @@ class ConsumerSweep:
             policy: Optional[ExecutionPolicy] = None) -> SweepResult:
         """Run every (architecture, consumer-count) point.
 
-        ``jobs > 1`` (or an explicit ``backend``) fans the points out over
-        the unified scenario runner's process pool; results are identical to
-        serial execution for the same seeds.  ``policy`` adds per-point
-        timeout/retry handling; with ``on_error="record"`` a failed point
-        lands in ``SweepResult.failures`` instead of killing the sweep.
+        ``session`` carries the execution context (backend/jobs, cache,
+        policy); a parallel session's results are identical to serial
+        execution for the same seeds, and under a session policy with
+        ``on_error="record"`` a failed point lands in
+        ``SweepResult.failures`` instead of killing the sweep.  The
+        ``jobs``/``backend``/``cache``/``policy`` keywords are the
+        deprecated pre-session bundle (they build a session internally and
+        warn once per process).
 
         ``progress`` receives ``(label, consumers, axes)`` per point —
         ``consumers`` is ``None`` for points without that axis, and ``axes``
         is the point's full coordinate dict.
         """
+        session = Session.resolve(session, backend=backend, jobs=jobs,
+                                  cache=cache, policy=policy,
+                                  where="ConsumerSweep.run")
         sweep = SweepResult(workload=self.base_config.workload,
                             pattern=self.base_config.pattern,
                             consumer_counts=self.consumer_counts)
         for label in self.architectures:
             sweep.results.setdefault(label, {})
 
-        def point_progress(point: ScenarioPoint) -> None:
-            if progress is not None:
+        point_progress: Optional[Callable[[ScenarioPoint], None]] = None
+        if progress is not None:
+            def point_progress(point: ScenarioPoint) -> None:
                 progress(point.label, point.axes.get("consumers"),
                          dict(point.axes))
 
-        outcomes = run_scenarios(self.scenario_set(), jobs=jobs,
-                                 backend=backend, cache=cache, policy=policy,
+        outcomes = run_scenarios(self.scenario_set(), session=session,
                                  progress=point_progress)
         for outcome in outcomes:
             if not outcome.ok:
@@ -265,6 +273,7 @@ def sensitivity_sweep(base: ExperimentConfig, axes: dict, *,
                       equal_producers: bool = True,
                       transform: Optional[Callable[[ExperimentConfig],
                                                    ExperimentConfig]] = None,
+                      session: Optional[Session] = None,
                       jobs: Optional[int] = None,
                       backend: Optional[ExecutionBackend] = None,
                       cache: Optional["ResultCache"] = None,
@@ -276,12 +285,17 @@ def sensitivity_sweep(base: ExperimentConfig, axes: dict, *,
 
     ``axes`` follows :meth:`ScenarioSet.product` exactly (special
     ``architecture``/``consumers`` coordinates plus dotted config paths);
-    execution goes through :func:`run_scenarios`, so ``jobs``, ``cache`` and
-    ``policy`` behave identically to every other sweep.  ``transform``
-    (applied via :meth:`ScenarioSet.map_configs`) lets the sweep derive
-    coupled config changes from each point — e.g. rescaling the backbone
-    links along with a swept access-link bandwidth.
+    execution goes through :func:`run_scenarios` under ``session``, so the
+    backend, cache and policy behave identically to every other sweep (the
+    ``jobs``/``backend``/``cache``/``policy`` keywords are the deprecated
+    pre-session bundle).  ``transform`` (applied via
+    :meth:`ScenarioSet.map_configs`) lets the sweep derive coupled config
+    changes from each point — e.g. rescaling the backbone links along with
+    a swept access-link bandwidth.
     """
+    session = Session.resolve(session, backend=backend, jobs=jobs,
+                              cache=cache, policy=policy,
+                              where="sensitivity_sweep")
     scenarios = ScenarioSet.product(base, axes,
                                     equal_producers=equal_producers)
     if transform is not None:
@@ -292,8 +306,7 @@ def sensitivity_sweep(base: ExperimentConfig, axes: dict, *,
         seen = dict.fromkeys(point.axes[name] for point in scenarios)
         ordered_axes[name] = tuple(seen)
     sweep = SensitivitySweep(axes=ordered_axes)
-    for outcome in run_scenarios(scenarios, jobs=jobs, backend=backend,
-                                 cache=cache, policy=policy,
+    for outcome in run_scenarios(scenarios, session=session,
                                  progress=progress):
         sweep.record(outcome)
     return sweep

@@ -5,6 +5,8 @@ from __future__ import annotations
 
 import os
 
+import pytest
+
 from repro.cli import main
 
 
@@ -112,3 +114,85 @@ def test_cli_figure_bandwidth(capsys):
     assert code == 0
     out = capsys.readouterr().out
     assert "link_gbps" in out and "speedup_vs_1gbps" in out
+
+
+# ---------------------------------------------------------------------------
+# Execution sessions: the shared option block, --backend, and REPRO_* env
+# ---------------------------------------------------------------------------
+
+SMALL_SWEEP = ["sweep", "--workload", "Dstream", "--architectures", "DTS",
+               "--consumers", "1", "2", "--messages", "4"]
+
+
+def test_cli_backend_thread_matches_serial(capsys):
+    assert main(SMALL_SWEEP) == 0
+    serial_out = capsys.readouterr().out
+    assert main([*SMALL_SWEEP, "--backend", "thread", "--jobs", "2"]) == 0
+    assert capsys.readouterr().out == serial_out
+
+
+def test_cli_every_runner_subcommand_shares_the_option_block(capsys):
+    """The parent parser wires the same execution flags everywhere."""
+    from repro.cli import build_parser
+    parser = build_parser()
+    for command in ("deployment", "compare", "experiment", "figure",
+                    "sweep", "sensitivity"):
+        with pytest.raises(SystemExit) as excinfo:
+            parser.parse_args([command, "--backend", "warp"])
+        assert excinfo.value.code == 2  # invalid choice, from one definition
+    capsys.readouterr()  # swallow argparse usage noise
+
+
+def test_cli_session_from_env(monkeypatch, tmp_path, capsys):
+    """REPRO_JOBS/REPRO_CACHE configure the run with no CLI flags at all,
+    and a second identical invocation is served from the cache."""
+    cache_path = tmp_path / "env-cache"
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    monkeypatch.setenv("REPRO_CACHE", str(cache_path))
+    assert main(SMALL_SWEEP) == 0
+    first = capsys.readouterr().out
+    assert os.path.isdir(cache_path)
+    assert main(SMALL_SWEEP) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_cli_flags_override_env(monkeypatch, tmp_path, capsys):
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "env-cache"))
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    assert main([*SMALL_SWEEP, "--cache", str(tmp_path / "flag-cache"),
+                 "--jobs", "1"]) == 0
+    capsys.readouterr()
+    assert os.path.isdir(tmp_path / "flag-cache")
+    assert not os.path.exists(tmp_path / "env-cache")
+
+
+def test_cli_experiment_goes_through_the_session_cache(tmp_path, capsys):
+    argv = ["experiment", "--architecture", "DTS", "--consumers", "2",
+            "--messages", "4", "--cache", str(tmp_path / "cache")]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert os.path.isdir(tmp_path / "cache")
+    assert main(argv) == 0  # second run is a pure cache hit
+    assert capsys.readouterr().out == first
+
+
+def test_cli_bad_env_value_is_a_clean_error(monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_JOBS", "0")
+    assert main(SMALL_SWEEP) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "jobs" in err
+
+    monkeypatch.setenv("REPRO_JOBS", "many")
+    assert main(SMALL_SWEEP) == 2
+    assert "REPRO_JOBS" in capsys.readouterr().err
+
+
+def test_cli_explicit_on_error_raise_overrides_env(monkeypatch, capsys):
+    """--on-error raise / --retries 0 must beat REPRO_ON_ERROR/REPRO_RETRIES
+    even though the values equal the defaults."""
+    monkeypatch.setenv("REPRO_ON_ERROR", "record")
+    monkeypatch.setenv("REPRO_RETRIES", "3")
+    code = main(["experiment", "--architecture", "DTS", "--consumers", "2",
+                 "--messages", "4", "--on-error", "raise", "--retries", "0"])
+    assert code == 0
+    capsys.readouterr()

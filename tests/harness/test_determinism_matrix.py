@@ -1,9 +1,10 @@
 """Cross-backend determinism matrix.
 
 Every ScenarioSet constructor (grid, consumer_sweep, deployments), run under
-SerialBackend and ProcessPoolBackend(jobs=2), must produce byte-identical
-JSON payloads: each simulation derives all of its randomness from the
-point's config, never from process or scheduling state.
+SerialBackend, ProcessPoolBackend(jobs=2) and ThreadPoolBackend(jobs=2),
+must produce byte-identical JSON payloads: each simulation derives all of
+its randomness from the point's config, never from process, thread or
+scheduling state.
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ from repro.harness import (
     ProcessPoolBackend,
     ScenarioSet,
     SerialBackend,
+    ThreadPoolBackend,
     run_scenarios,
 )
 
@@ -63,13 +65,18 @@ def _payloads(outcomes) -> list[str]:
     return payloads
 
 
+@pytest.mark.parametrize("parallel_backend", [
+    lambda: ProcessPoolBackend(2),
+    lambda: ThreadPoolBackend(2),
+], ids=["process", "thread"])
 @pytest.mark.parametrize("constructor", ["grid", "consumer_sweep",
                                          "deployments"])
-def test_pool_payloads_byte_identical_to_serial(constructor):
+def test_parallel_payloads_byte_identical_to_serial(constructor,
+                                                    parallel_backend):
     scenarios = _scenario_sets()[constructor]
     serial = run_scenarios(scenarios, backend=SerialBackend())
-    pooled = run_scenarios(scenarios, backend=ProcessPoolBackend(2))
-    assert _payloads(serial) == _payloads(pooled)
+    parallel = run_scenarios(scenarios, backend=parallel_backend())
+    assert _payloads(serial) == _payloads(parallel)
     # Ordering survives the pool's out-of-order completion too.
     assert ([o.point.cache_key() for o in serial]
-            == [o.point.cache_key() for o in pooled])
+            == [o.point.cache_key() for o in parallel])
