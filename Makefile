@@ -8,17 +8,32 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Line-coverage floor enforced by `make coverage` over the execution engine.
 COVERAGE_FLOOR ?= 85
 
-.PHONY: test bench-smoke bench check coverage example sensitivity-smoke \
-	session-smoke
+.PHONY: test bench-smoke bench bench-pytest check coverage example \
+	sensitivity-smoke session-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
 
+# Collection guard (micro benches through pytest, with or without the
+# pytest-benchmark plugin) plus a fast pass of the dependency-free bench
+# suite compared against the committed BENCH_<n>.json trajectory.  The
+# compare skips gracefully when no snapshot exists yet and fails the build
+# when a bench's best round is more than 20% slower than the snapshot's
+# median (calibration-scaled; snapshots from a different python/platform
+# only warn).
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks -q -k micro
+	$(PYTHON) -m repro.cli bench --rounds 5 --compare --threshold 0.2 --no-save
 
+# Record the next BENCH_<n>.json snapshot (median/stdev per bench, repro
+# version + git sha).  Commit the snapshot to extend the perf trajectory.
 bench:
-	$(PYTHON) -m pytest benchmarks -q --benchmark-only
+	$(PYTHON) -m repro.cli bench --rounds 9 --compare
+
+# The figure-regeneration benches under pytest; uses pytest-benchmark when
+# installed and a plain-timing fallback fixture otherwise.
+bench-pytest:
+	$(PYTHON) -m pytest benchmarks -q
 
 # Fast end-to-end smoke for the sensitivity pipeline: a 2-point bandwidth
 # sweep through the process pool and the sharded result cache.

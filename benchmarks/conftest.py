@@ -15,6 +15,7 @@ Run with::
 from __future__ import annotations
 
 import os
+import time
 
 import pytest
 
@@ -43,3 +44,54 @@ def bench_settings():
         "consumer_counts": BENCH_CONSUMER_COUNTS,
         "seed": BENCH_SEED,
     }
+
+
+class _FallbackBenchmark:
+    """Minimal stand-in for the pytest-benchmark ``benchmark`` fixture.
+
+    Times the callable once with :func:`time.perf_counter` and remembers the
+    elapsed seconds, so ``pytest benchmarks/`` stays runnable (as a smoke
+    pass) in environments without the plugin.  The persistent trajectory
+    lives in the dependency-free ``repro-streamsim bench`` subsystem; this
+    fallback only keeps collection and the benches' assertions working.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed_s: float | None = None
+
+    def _timed(self, func, *args, **kwargs):
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        self.elapsed_s = time.perf_counter() - start
+        return result
+
+    def __call__(self, func, *args, **kwargs):
+        return self._timed(func, *args, **kwargs)
+
+    def pedantic(self, func, args=(), kwargs=None, rounds=1, iterations=1,
+                 warmup_rounds=0):
+        kwargs = kwargs or {}
+        for _ in range(warmup_rounds):
+            func(*args, **kwargs)
+        result = None
+        for _ in range(max(1, rounds)):
+            for _ in range(max(1, iterations)):
+                result = self._timed(func, *args, **kwargs)
+        return result
+
+
+class _FallbackBenchmarkPlugin:
+    """Provides the ``benchmark`` fixture when the real plugin is inactive."""
+
+    @pytest.fixture
+    def benchmark(self):
+        return _FallbackBenchmark()
+
+
+def pytest_configure(config):
+    # Registered dynamically (not as a module-level fixture) so the real
+    # pytest-benchmark fixture is never shadowed when the plugin is active;
+    # this covers both "not installed" and "-p no:benchmark".
+    if not config.pluginmanager.hasplugin("benchmark"):
+        config.pluginmanager.register(_FallbackBenchmarkPlugin(),
+                                      "repro-benchmark-fallback")

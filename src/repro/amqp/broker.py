@@ -47,6 +47,8 @@ class Broker:
         self.host = host
         self.memory_policy = memory_policy
         self.monitor = monitor or Monitor(f"broker:{name}")
+        # Per-message instrument, resolved by name exactly once.
+        self._publishes_counter = self.monitor.counter("publishes")
         self.exchanges: dict[str, Exchange] = {}
         self.queues: dict[str, ClassicQueue] = {}
         # Default exchange ("") routes directly to the queue named by the key.
@@ -124,7 +126,7 @@ class Broker:
                 continue
             outcomes.append(queue.publish(message))
         yield self.env.timeout(overhead)
-        self.monitor.count("publishes")
+        self._publishes_counter.value += 1.0
         if not queue_names:
             self.monitor.count("unroutable")
         return outcomes

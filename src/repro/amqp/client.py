@@ -61,6 +61,8 @@ class ProducerClient:
         self.reject_backoff_s = float(reject_backoff_s)
         self.max_retries = int(max_retries)
         self.monitor = Monitor(f"producer:{name}")
+        # Per-message instrument, resolved by name exactly once.
+        self._published_counter = self.monitor.counter("published")
         self._unconfirmed = 0
         self.published = 0
         self.rejected = 0
@@ -96,7 +98,7 @@ class ProducerClient:
             yield self.env.timeout(self.reject_backoff_s * min(attempts, 10))
 
         self.published += 1
-        self.monitor.count("published")
+        self._published_counter.value += 1.0
         self._unconfirmed += 1
         if (self.ack_policy.effective_publisher_batch
                 and self._unconfirmed >= self.ack_policy.effective_publisher_batch):
@@ -132,6 +134,9 @@ class ConsumerClient:
         self.broker = broker or cluster.assign_client_broker()
         self.ack_policy = ack_policy
         self.monitor = Monitor(f"consumer:{name}")
+        # Per-message instruments, resolved by name exactly once.
+        self._received_counter = self.monitor.counter("received")
+        self._bytes_counter = self.monitor.counter("bytes")
         self.mailbox: Store = Store(env)
         self.received = 0
         self._pending_acks: dict[str, list[int]] = {}
@@ -144,8 +149,8 @@ class ConsumerClient:
         message.consumed_at = self.env.now
         message.headers["consumer"] = self.name
         self.received += 1
-        self.monitor.count("received")
-        self.monitor.count("bytes", message.wire_bytes)
+        self._received_counter.value += 1.0
+        self._bytes_counter.value += message.wire_bytes
         yield self.mailbox.put(message)
 
     def subscribe(self, queue_name: str, *, prefetch: Optional[int] = None) -> str:

@@ -44,6 +44,8 @@ class BrokerCluster:
         self.brokers = list(brokers)
         self.network = network
         self.monitor = monitor or Monitor(f"cluster:{name}")
+        # Per-message instrument, resolved by name exactly once.
+        self._publishes_counter = self.monitor.counter("publishes")
         #: queue name -> leader broker
         self._queue_leaders: dict[str, Broker] = {}
         self._placement_cursor = 0
@@ -164,7 +166,7 @@ class BrokerCluster:
                     leader.monitor.count("blocked_publishes")
                     continue
                 outcomes.append(queue.publish(message))
-        self.monitor.count("publishes")
+        self._publishes_counter.value += 1.0
         return outcomes
 
     def subscribe(self, queue_name: str, tag: str,

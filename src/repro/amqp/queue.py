@@ -19,7 +19,6 @@ whom* a message goes.
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Generator, Optional
@@ -73,11 +72,15 @@ class ClassicQueue:
         self.policy = policy
         self.is_control = is_control
         self.monitor = monitor or Monitor(f"queue:{name}")
+        # Per-message instruments, resolved by name exactly once.
+        self._published_counter = self.monitor.counter("published")
+        self._delivered_counter = self.monitor.counter("delivered")
+        self._depth_series = self.monitor.timeseries("depth")
         self._ready: deque[Message] = deque()
         self._ready_bytes = 0.0
         self._consumers: dict[str, ConsumerHandle] = {}
         self._rr_order: deque[str] = deque()
-        self._delivery_tags = itertools.count(1)
+        self._next_delivery_tag = 1
         self._unacked: dict[int, tuple[str, Message]] = {}
         self._wakeup = env.event()
         self._dispatcher = env.process(self._dispatch_loop(),
@@ -121,9 +124,10 @@ class ClassicQueue:
         self._ready.append(message)
         self._ready_bytes += message.payload_bytes
         self.published += 1
-        message.published_at = self.env.now
-        self.monitor.count("published")
-        self.monitor.record("depth", self.env.now, self.depth)
+        now = self.env.now
+        message.published_at = now
+        self._published_counter.value += 1.0
+        self._depth_series.record(now, len(self._ready) + len(self._unacked))
         self._notify()
         return PublishOutcome(True, "", self.name)
 
@@ -219,7 +223,8 @@ class ClassicQueue:
                 continue
             message = self._ready.popleft()
             self._ready_bytes -= message.payload_bytes
-            delivery_tag = next(self._delivery_tags)
+            delivery_tag = self._next_delivery_tag
+            self._next_delivery_tag = delivery_tag + 1
             handle.outstanding += 1
             handle.delivered += 1
             handle.unacked_tags.append(delivery_tag)
@@ -228,7 +233,7 @@ class ClassicQueue:
             message.headers["delivery_tag"] = delivery_tag
             message.headers["consumer_tag"] = handle.tag
             message.headers["queue"] = self.name
-            self.monitor.count("delivered")
+            self._delivered_counter.value += 1.0
             # Deliveries pipeline: each runs as its own process so a slow
             # consumer path does not head-of-line block the queue.
             self.env.process(handle.deliver(message),

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-from ..simkit import Environment, RandomStreams
+from ..simkit import BatchedUniform, Environment, RandomStreams
 from ..netsim import DNSRegistry, Network
 from ..netsim import units
 from ..amqp import AckPolicy, Broker, BrokerCluster, QueuePolicy
@@ -142,7 +142,9 @@ class Testbed:
         self.dns = DNSRegistry(env)
 
         cfg = self.config
-        jitter_rng = self.streams.stream("link-jitter")
+        # All links share one jitter stream; the batching wrapper keeps the
+        # draw order (and the values) identical to scalar uniform() calls.
+        jitter_rng = BatchedUniform(self.streams.stream("link-jitter"))
 
         # --- facilities -----------------------------------------------------
         self.hpc_facility = Facility(env, "olcf", self.network,

@@ -37,6 +37,10 @@ class HardwareLoadBalancer:
         self.tls = tls
         self.algorithm = algorithm
         self.monitor = Monitor(f"lb:{name}")
+        # Per-message instruments, resolved by name exactly once.
+        self._messages_counter = self.monitor.counter("messages")
+        self._bytes_counter = self.monitor.counter("bytes")
+        self._delay_series = self.monitor.timeseries("delay")
         self._inflight = Resource(env, capacity=max_inflight)
         self._backends: list[Endpoint] = []
         self._cursor = 0
@@ -68,9 +72,9 @@ class HardwareLoadBalancer:
         with self._inflight.request() as slot:
             yield slot
             yield from self.host.traverse(message, tls=self.tls)
-        self.monitor.count("messages")
-        self.monitor.count("bytes", message.wire_bytes)
-        self.monitor.record("delay", arrived, self.env.now - arrived)
+        self._messages_counter.value += 1.0
+        self._bytes_counter.value += message.wire_bytes
+        self._delay_series.record(arrived, self.env.now - arrived)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<HardwareLoadBalancer {self.name} backends={len(self._backends)}>"

@@ -95,6 +95,9 @@ class IngressController:
         self.tls = tls
         self.route_controller = route_controller or RouteController(f"{name}-routes")
         self.monitor = Monitor(f"ingress:{name}")
+        # Per-message instruments, resolved by name exactly once.
+        self._messages_counter = self.monitor.counter("messages")
+        self._delay_series = self.monitor.timeseries("delay")
         self._inflight = Resource(env, capacity=max_inflight)
 
     def add_route(self, hostname: str, backends: list[Endpoint]) -> None:
@@ -105,8 +108,8 @@ class IngressController:
         with self._inflight.request() as slot:
             yield slot
             yield from self.host.traverse(message, tls=self.tls)
-        self.monitor.count("messages")
-        self.monitor.record("delay", arrived, self.env.now - arrived)
+        self._messages_counter.value += 1.0
+        self._delay_series.record(arrived, self.env.now - arrived)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<IngressController {self.name} host={self.host.name}>"

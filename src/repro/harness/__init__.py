@@ -12,6 +12,17 @@ entry point; the historical ``jobs/backend/cache/policy`` keyword bundle
 still works as a deprecated shim.
 """
 
+from .bench import (
+    BenchReport,
+    BenchResult,
+    bench_names,
+    compare_reports,
+    latest_snapshot,
+    list_snapshots,
+    next_snapshot_path,
+    profile_point,
+    run_benches,
+)
 from .cache import ResultCache, code_fingerprint
 from .config import PATTERN_NAMES, ExperimentConfig
 from .coordinator import Coordinator
@@ -84,4 +95,13 @@ __all__ = [
     "ENV_PREFIX",
     "ResultCache",
     "code_fingerprint",
+    "BenchReport",
+    "BenchResult",
+    "bench_names",
+    "run_benches",
+    "compare_reports",
+    "list_snapshots",
+    "latest_snapshot",
+    "next_snapshot_path",
+    "profile_point",
 ]

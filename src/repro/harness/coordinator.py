@@ -15,6 +15,7 @@ the simulation and reduce the metrics.
 
 from __future__ import annotations
 
+from array import array
 from typing import Optional
 
 from ..simkit import Environment, Monitor
@@ -41,7 +42,9 @@ class Coordinator:
         self.work_queues: list[str] = []
         self.reply_queues: dict[str, str] = {}
 
-        # Measurement state.
+        # Measurement state.  Latency/RTT samples are array('d') column
+        # buffers (one C double per message, no boxed floats); the stats
+        # layer consumes them without copying.
         self.published = 0
         self.failed_publishes = 0
         self.consumed = 0
@@ -49,8 +52,8 @@ class Coordinator:
         self.consumed_payload_bytes = 0.0
         self.first_publish_time: Optional[float] = None
         self.last_consume_time: Optional[float] = None
-        self.latency_samples: list[float] = []
-        self.rtt_samples: list[float] = []
+        self.latency_samples: array = array("d")
+        self.rtt_samples: array = array("d")
         self.per_consumer_counts: dict[str, int] = {}
         self.per_producer_replies: dict[str, int] = {}
         self.finished_producers: set[str] = set()
@@ -59,6 +62,11 @@ class Coordinator:
         #: attribution the paper's hop-count discussion motivates.
         self.hop_time_by_kind: dict[str, float] = {}
         self.hop_count_by_kind: dict[str, int] = {}
+        # Hot-path counters, resolved by name exactly once.
+        monitor = self.monitor
+        self._published_counter = monitor.counter("published")
+        self._consumed_counter = monitor.counter("consumed")
+        self._replies_counter = monitor.counter("replies")
 
     # -- queue plan -----------------------------------------------------------
     def announce_queues(self, work_queues: list[str],
@@ -72,7 +80,7 @@ class Coordinator:
         self.published += 1
         if self.first_publish_time is None:
             self.first_publish_time = self.env.now
-        self.monitor.count("published")
+        self._published_counter.value += 1.0
 
     def record_failed_publish(self, message: Message) -> None:
         self.failed_publishes += 1
@@ -83,13 +91,29 @@ class Coordinator:
         self.consumed_payload_bytes += message.payload_bytes
         self.last_consume_time = self.env.now
         self.per_consumer_counts[consumer] = self.per_consumer_counts.get(consumer, 0) + 1
-        if message.latency is not None:
-            self.latency_samples.append(message.latency)
-        for kind, seconds in message.hop_breakdown().items():
-            self.hop_time_by_kind[kind] = self.hop_time_by_kind.get(kind, 0.0) + seconds
-        for hop in message.hops:
-            self.hop_count_by_kind[hop.kind] = self.hop_count_by_kind.get(hop.kind, 0) + 1
-        self.monitor.count("consumed")
+        consumed_at = message.consumed_at
+        if consumed_at is not None:
+            self.latency_samples.append(consumed_at - message.created_at)
+        hops = message.hops
+        if hops:
+            # One pass over the hops feeds both aggregates.  The per-kind
+            # time is subtotalled per message before folding into the global
+            # dict so float summation order (and thus serialized results)
+            # matches the historical hop_breakdown()-based reduction exactly.
+            breakdown: dict[str, float] = {}
+            counts = self.hop_count_by_kind
+            for hop in hops:
+                kind = hop.kind
+                duration = hop.departed_at - hop.arrived_at
+                if kind in breakdown:
+                    breakdown[kind] += duration
+                else:
+                    breakdown[kind] = duration
+                counts[kind] = counts.get(kind, 0) + 1
+            times = self.hop_time_by_kind
+            for kind, seconds in breakdown.items():
+                times[kind] = times.get(kind, 0.0) + seconds
+        self._consumed_counter.value += 1.0
         self._check_done()
 
     def record_reply(self, reply: Message, producer: str) -> None:
@@ -99,7 +123,7 @@ class Coordinator:
         request_created = reply.headers.get("request_created_at")
         if request_created is not None:
             self.rtt_samples.append(self.env.now - float(request_created))
-        self.monitor.count("replies")
+        self._replies_counter.value += 1.0
         self._check_done()
 
     def record_producer_finished(self, producer: str) -> None:

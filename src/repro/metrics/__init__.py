@@ -3,7 +3,13 @@
 from .export import format_table, format_value, to_csv, write_csv
 from .overhead import OverheadResult, overhead_factor, overhead_table
 from .rtt import RTTResult, compute_rtt
-from .stats import SummaryStats, empirical_cdf, percentile, summarize
+from .stats import (
+    SummaryStats,
+    as_float_array,
+    empirical_cdf,
+    percentile,
+    summarize,
+)
 from .throughput import ThroughputResult, compute_throughput
 
 __all__ = [
@@ -11,6 +17,7 @@ __all__ = [
     "summarize",
     "percentile",
     "empirical_cdf",
+    "as_float_array",
     "ThroughputResult",
     "compute_throughput",
     "RTTResult",

@@ -13,7 +13,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from .stats import SummaryStats, empirical_cdf, summarize
+from .stats import SummaryStats, as_float_array, empirical_cdf, summarize
 
 __all__ = ["RTTResult", "compute_rtt"]
 
@@ -49,6 +49,8 @@ class RTTResult:
 
 def compute_rtt(samples: Iterable[float], *, cdf_points: int = 200) -> RTTResult:
     """Reduce raw RTT samples to the summary + CDF used by the figures."""
-    array = np.asarray(list(samples), dtype=float)
+    # The result retains the samples, so take an owned copy of the source
+    # buffer (coordinators hand in live array('d') columns).
+    array = as_float_array(samples, copy=True)
     x, p = empirical_cdf(array, points=cdf_points)
     return RTTResult(summary=summarize(array), cdf_x=x, cdf_p=p, samples=array)

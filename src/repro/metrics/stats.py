@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["SummaryStats", "summarize", "empirical_cdf", "percentile"]
+__all__ = ["SummaryStats", "summarize", "empirical_cdf", "percentile",
+           "as_float_array"]
 
 
 @dataclass(frozen=True)
@@ -38,8 +40,28 @@ class SummaryStats:
         }
 
 
-def _as_array(values: Iterable[float]) -> np.ndarray:
-    return np.asarray(list(values), dtype=float)
+def as_float_array(values: Iterable[float], *, copy: bool = False) -> np.ndarray:
+    """``values`` as a float64 ndarray, avoiding copies where possible.
+
+    ``array('d')`` sample buffers (the metrics hot path) convert through the
+    buffer protocol: a zero-copy read-only view by default, or an owned copy
+    with ``copy=True`` for results that outlive the source buffer.
+    """
+    if isinstance(values, np.ndarray):
+        converted = values.astype(float, copy=False)
+        if copy and converted is values:
+            return values.copy()
+        return converted
+    if isinstance(values, array) and values.typecode == "d":
+        if copy:
+            return np.array(values, dtype=float)
+        return np.frombuffer(values, dtype=float)
+    if isinstance(values, (list, tuple)):
+        return np.asarray(values, dtype=float)
+    return np.fromiter(values, dtype=float)
+
+
+_as_array = as_float_array
 
 
 def summarize(values: Iterable[float]) -> SummaryStats:

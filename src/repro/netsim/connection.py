@@ -71,6 +71,10 @@ class Connection:
         self.tls_handshakes = list(tls_handshakes)
         self.tcp_handshake_s = float(tcp_handshake_s)
         self.monitor = monitor or Monitor(f"connection:{name}")
+        # Per-message instruments, resolved by name exactly once.
+        self._messages_counter = self.monitor.counter("messages")
+        self._bytes_counter = self.monitor.counter("bytes")
+        self._path_delay_series = self.monitor.timeseries("path_delay")
         self.established = False
         self.messages_sent = 0
 
@@ -97,9 +101,9 @@ class Connection:
         for stage in self.stages:
             yield from stage.traverse(message)
         self.messages_sent += 1
-        self.monitor.count("messages")
-        self.monitor.count("bytes", message.wire_bytes)
-        self.monitor.record("path_delay", started, self.env.now - started)
+        self._messages_counter.value += 1.0
+        self._bytes_counter.value += message.wire_bytes
+        self._path_delay_series.record(started, self.env.now - started)
         return message
 
     # -- introspection -----------------------------------------------------------

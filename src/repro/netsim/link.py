@@ -20,8 +20,8 @@ from typing import Generator, Optional
 
 import numpy as np
 
-from ..simkit import Environment, Monitor, Resource
-from .message import Message
+from ..simkit import BatchedUniform, Environment, Monitor, Resource
+from .message import HopRecord, Message
 from .units import transmission_time
 
 __all__ = ["Link"]
@@ -34,7 +34,7 @@ class Link:
                  bandwidth_bps: float,
                  latency_s: float = 0.0005,
                  jitter_s: float = 0.0,
-                 rng: Optional[np.random.Generator] = None,
+                 rng: Optional["np.random.Generator | BatchedUniform"] = None,
                  monitor: Optional[Monitor] = None) -> None:
         if bandwidth_bps <= 0:
             raise ValueError("bandwidth must be positive")
@@ -47,6 +47,10 @@ class Link:
         self.jitter_s = float(jitter_s)
         self._rng = rng
         self.monitor = monitor or Monitor(f"link:{name}")
+        # Per-message instruments, resolved by name exactly once.
+        self._messages_counter = self.monitor.counter("messages")
+        self._bytes_counter = self.monitor.counter("bytes")
+        self._queueing_series = self.monitor.timeseries("queueing_delay")
         #: Serialization resource: one frame on the wire at a time.
         self._wire = Resource(env, capacity=1)
         self._busy_time = 0.0
@@ -75,10 +79,10 @@ class Link:
             yield self.env.timeout(tx)
         yield self.env.timeout(self.propagation_delay())
         departed = self.env.now
-        message.record_hop(self.name, "link", arrived, departed)
-        self.monitor.count("messages")
-        self.monitor.count("bytes", message.wire_bytes)
-        self.monitor.record("queueing_delay", arrived, departed - arrived)
+        message.hops.append(HopRecord(self.name, "link", arrived, departed))
+        self._messages_counter.value += 1.0
+        self._bytes_counter.value += message.wire_bytes
+        self._queueing_series.record(arrived, departed - arrived)
 
     # -- reporting -----------------------------------------------------------
     @property

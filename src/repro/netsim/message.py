@@ -18,9 +18,13 @@ __all__ = ["Message", "HopRecord", "MessageFactory"]
 _message_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class HopRecord:
-    """One traversal of a network element by a message."""
+    """One traversal of a network element by a message.
+
+    One of these is allocated per hop of every message, so it carries
+    ``slots=True`` to stay dict-free.
+    """
 
     element: str
     kind: str
@@ -32,7 +36,7 @@ class HopRecord:
         return self.departed_at - self.arrived_at
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """An application message flowing producer → service → consumer."""
 

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Generator, Optional
 
 from ..simkit import Environment, Monitor, Resource
-from .message import Message
+from .message import HopRecord, Message
 from .tls import NULL_TLS, TLSProfile
 
 __all__ = ["NodeSpec", "NetworkNode"]
@@ -54,6 +54,10 @@ class NetworkNode:
         self.spec = spec or NodeSpec()
         self.role = role
         self.monitor = monitor or Monitor(f"node:{name}")
+        # Per-message instruments, resolved by name exactly once.
+        self._messages_counter = self.monitor.counter("messages")
+        self._bytes_counter = self.monitor.counter("bytes")
+        self._service_series = self.monitor.timeseries("service_delay")
         self._cpu = Resource(env, capacity=max(1, self.spec.concurrency))
         self._busy_time = 0.0
 
@@ -74,10 +78,11 @@ class NetworkNode:
             cost = self.service_time(message, tls)
             self._busy_time += cost
             yield self.env.timeout(cost)
-        message.record_hop(self.name, self.role, arrived, self.env.now)
-        self.monitor.count("messages")
-        self.monitor.count("bytes", message.wire_bytes)
-        self.monitor.record("service_delay", arrived, self.env.now - arrived)
+        departed = self.env.now
+        message.hops.append(HopRecord(self.name, self.role, arrived, departed))
+        self._messages_counter.value += 1.0
+        self._bytes_counter.value += message.wire_bytes
+        self._service_series.record(arrived, departed - arrived)
 
     # -- reporting -----------------------------------------------------------
     @property

@@ -22,7 +22,7 @@ Quick example::
 from .core import AllOf, AnyOf, Condition, Environment, Event, Process, Timeout
 from .errors import Interrupt, ResourceError, SchedulingError, SimkitError
 from .monitor import Counter, Monitor, TimeSeries
-from .rand import RandomStreams, derive_seed
+from .rand import BatchedUniform, RandomStreams, derive_seed
 from .resources import (
     Container,
     FilterStore,
@@ -52,5 +52,6 @@ __all__ = [
     "TimeSeries",
     "Monitor",
     "RandomStreams",
+    "BatchedUniform",
     "derive_seed",
 ]

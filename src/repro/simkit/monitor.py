@@ -9,19 +9,28 @@ Two primitives cover everything the evaluation needs:
 
 A :class:`Monitor` groups named counters/series for one component and can be
 merged with others when the coordinator aggregates per-consumer results.
+
+Both primitives sit on the per-message hot path, so they are
+allocation-light: ``__slots__`` instead of instance dicts, and
+:class:`TimeSeries` stores its samples in ``array('d')`` column buffers
+(one C double per sample) rather than lists of boxed floats.  Hot call
+sites are expected to look up their :class:`Counter`/:class:`TimeSeries`
+once (``monitor.counter(name)`` / ``monitor.timeseries(name)``) and keep
+the returned object, rather than paying the name lookup per message.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable
+from array import array
+from dataclasses import dataclass
+from typing import Iterable, Optional
 
 import numpy as np
 
 __all__ = ["Counter", "TimeSeries", "Monitor"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Counter:
     """A named monotonically increasing counter."""
 
@@ -37,20 +46,32 @@ class Counter:
         self.value += other.value
 
 
-@dataclass
 class TimeSeries:
-    """Timestamped samples with numpy-backed summary statistics."""
+    """Timestamped samples with numpy-backed summary statistics.
 
-    name: str
-    times: list[float] = field(default_factory=list)
-    values: list[float] = field(default_factory=list)
+    Samples live in two parallel ``array('d')`` columns; statistics wrap
+    them in transient zero-copy numpy views.
+    """
+
+    __slots__ = ("name", "times", "values")
+
+    def __init__(self, name: str,
+                 times: Optional[Iterable[float]] = None,
+                 values: Optional[Iterable[float]] = None) -> None:
+        self.name = name
+        self.times: array = array("d", times if times is not None else ())
+        self.values: array = array("d", values if values is not None else ())
 
     def record(self, time: float, value: float) -> None:
-        self.times.append(float(time))
-        self.values.append(float(value))
+        # array('d').append coerces (and type-checks) to a C double.
+        self.times.append(time)
+        self.values.append(value)
 
     def __len__(self) -> int:
         return len(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TimeSeries(name={self.name!r}, samples={len(self.values)})"
 
     def merge(self, other: "TimeSeries") -> None:
         self.times.extend(other.times)
@@ -58,30 +79,36 @@ class TimeSeries:
 
     # -- statistics ---------------------------------------------------------
     def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
-        return np.asarray(self.times, dtype=float), np.asarray(self.values, dtype=float)
+        """Copies of the (times, values) columns as float64 arrays."""
+        return (np.array(self.times, dtype=float),
+                np.array(self.values, dtype=float))
+
+    def _view(self) -> np.ndarray:
+        """Transient zero-copy (read-only) view of the value column."""
+        return np.frombuffer(self.values, dtype=float)
 
     def mean(self) -> float:
-        return float(np.mean(self.values)) if self.values else float("nan")
+        return float(np.mean(self._view())) if self.values else float("nan")
 
     def median(self) -> float:
-        return float(np.median(self.values)) if self.values else float("nan")
+        return float(np.median(self._view())) if self.values else float("nan")
 
     def percentile(self, q: float | Iterable[float]):
         if not self.values:
             return float("nan")
-        return np.percentile(np.asarray(self.values, dtype=float), q)
+        return np.percentile(self._view(), q)
 
     def minimum(self) -> float:
-        return float(np.min(self.values)) if self.values else float("nan")
+        return float(np.min(self._view())) if self.values else float("nan")
 
     def maximum(self) -> float:
-        return float(np.max(self.values)) if self.values else float("nan")
+        return float(np.max(self._view())) if self.values else float("nan")
 
     def cdf(self, points: int = 100) -> tuple[np.ndarray, np.ndarray]:
         """Empirical CDF evaluated at ``points`` evenly spaced quantiles."""
         if not self.values:
             return np.array([]), np.array([])
-        values = np.sort(np.asarray(self.values, dtype=float))
+        values = np.sort(self._view())
         probs = np.arange(1, len(values) + 1) / len(values)
         if points >= len(values):
             return values, probs
@@ -91,6 +118,8 @@ class TimeSeries:
 
 class Monitor:
     """Named collection of counters and time series for one component."""
+
+    __slots__ = ("name", "counters", "series")
 
     def __init__(self, name: str = "") -> None:
         self.name = name

@@ -18,7 +18,6 @@ All ``request``/``get``/``put`` operations return events that a process must
 from __future__ import annotations
 
 import heapq
-import itertools
 from collections import deque
 from typing import Any, Callable, Optional
 
@@ -61,7 +60,11 @@ class Request(Event):
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.resource.release(self)
+        # The context-manager exit is the hot release path: skip the
+        # confirmation Release event (nobody can observe it here).
+        resource = self.resource
+        resource._do_release(self)
+        resource._trigger_waiters()
 
     def cancel(self) -> None:
         """Withdraw a request that has not been granted yet."""
@@ -161,7 +164,7 @@ class PriorityResource(Resource):
     def __init__(self, env: Environment, capacity: int = 1) -> None:
         super().__init__(env, capacity)
         self._pqueue: list[tuple[tuple, int, PriorityRequest]] = []
-        self._order = itertools.count()
+        self._order = 0
 
     def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
         return PriorityRequest(self, priority)
@@ -172,8 +175,9 @@ class PriorityResource(Resource):
             request.succeed()
         else:
             assert isinstance(request, PriorityRequest)
-            heapq.heappush(self._pqueue,
-                           (request.key, next(self._order), request))
+            order = self._order
+            self._order = order + 1
+            heapq.heappush(self._pqueue, (request.key, order, request))
 
     def _cancel(self, request: Request) -> None:
         self._pqueue = [entry for entry in self._pqueue if entry[2] is not request]

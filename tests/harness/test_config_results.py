@@ -116,7 +116,8 @@ def test_coordinator_rtt_samples_from_reply_headers():
 
     env.process(proc(env))
     env.run()
-    assert coordinator.rtt_samples == [pytest.approx(0.5)]
+    # Samples live in an array('d') column buffer on the coordinator.
+    assert list(coordinator.rtt_samples) == [pytest.approx(0.5)]
 
 
 def test_coordinator_measurement_window_and_balance():

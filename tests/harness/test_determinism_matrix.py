@@ -9,6 +9,7 @@ scheduling state.
 
 from __future__ import annotations
 
+import hashlib
 import json
 
 import pytest
@@ -65,6 +66,25 @@ def _payloads(outcomes) -> list[str]:
     return payloads
 
 
+#: sha256 over the newline-joined serial JSON payloads of each scenario
+#: set, recorded with the *pre-fast-kernel* engine (PR 4 tree).  The
+#: fast-kernel optimizations (single-callback events, zero-delay lanes,
+#: timeout freelist, array('d') metrics buffers, batched jitter draws)
+#: must reproduce these bytes exactly.  Regenerate only for a deliberate
+#: semantic change:
+#:
+#:     payloads = _payloads(run_scenarios(scenarios, backend=SerialBackend()))
+#:     hashlib.sha256("\n".join(payloads).encode()).hexdigest()
+GOLDEN_DIGESTS = {
+    "grid":
+        "78ed798f48f612330d154c5086c3729f2d8c06c90d631ccbabeb1168c55285c6",
+    "consumer_sweep":
+        "7c229b6c767bf3ecbd1467953e6ceff6bd4af5b8f1cca97b5a14faad4a530c36",
+    "deployments":
+        "07f6c84df873bad3003304ad726514e1e11a28bb7891212ee5b345b3e606fff2",
+}
+
+
 @pytest.mark.parametrize("parallel_backend", [
     lambda: ProcessPoolBackend(2),
     lambda: ThreadPoolBackend(2),
@@ -80,3 +100,14 @@ def test_parallel_payloads_byte_identical_to_serial(constructor,
     # Ordering survives the pool's out-of-order completion too.
     assert ([o.point.cache_key() for o in serial]
             == [o.point.cache_key() for o in parallel])
+
+
+@pytest.mark.parametrize("constructor", ["grid", "consumer_sweep",
+                                         "deployments"])
+def test_fast_kernel_payloads_match_pre_optimization_golden(constructor):
+    """The optimized kernel reproduces the pre-optimization results
+    byte-for-byte (see GOLDEN_DIGESTS for the recording recipe)."""
+    scenarios = _scenario_sets()[constructor]
+    payloads = _payloads(run_scenarios(scenarios, backend=SerialBackend()))
+    digest = hashlib.sha256("\n".join(payloads).encode()).hexdigest()
+    assert digest == GOLDEN_DIGESTS[constructor]
