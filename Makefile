@@ -9,7 +9,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 COVERAGE_FLOOR ?= 85
 
 .PHONY: test bench-smoke bench bench-pytest check coverage example \
-	sensitivity-smoke session-smoke
+	sensitivity-smoke session-smoke population-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -62,7 +62,21 @@ session-smoke:
 		--consumers 1 2 --messages 4
 	@rm -rf $(SESSION_SMOKE_CACHE)
 
-check: test bench-smoke sensitivity-smoke session-smoke
+# Fast end-to-end smoke for the aggregate-client model: the K=1
+# bit-identity contract (population golden digest), then one K=10^3
+# aggregated point through the Session API with a result cache.
+POPULATION_SMOKE_CACHE := .population-smoke-cache
+population-smoke:
+	@rm -rf $(POPULATION_SMOKE_CACHE)
+	$(PYTHON) -m pytest -x -q \
+		tests/harness/test_population.py::test_population_axis_at_one_reproduces_axis_free_results \
+		tests/harness/test_population.py::test_population_grid_matches_golden
+	REPRO_CACHE=$(POPULATION_SMOKE_CACHE) $(PYTHON) -m repro.cli \
+		experiment --architecture DTS --workload Dstream \
+		--consumers 2 --producers 2 --messages 4 --population 1000
+	@rm -rf $(POPULATION_SMOKE_CACHE)
+
+check: test bench-smoke sensitivity-smoke session-smoke population-smoke
 
 # Coverage gate over the harness (runner/cache/sweep/policy are the layers
 # fault-tolerance lives in).  Skips gracefully where pytest-cov is absent —

@@ -111,7 +111,11 @@ class Broker:
         an empty list means the routing key matched no queue (the AMQP
         'unroutable' case).
         """
-        overhead = self.publish_overhead_s
+        # Routing/bookkeeping cost scales with the logical message count: an
+        # aggregate publish of multiplicity K pays K publish operations'
+        # worth of broker CPU (exact at K=1).
+        multiplicity = message.multiplicity
+        overhead = self.publish_overhead_s * multiplicity
         queue_names = self.route(exchange_name, routing_key)
         outcomes: list[PublishOutcome] = []
         for queue_name in queue_names:
@@ -119,14 +123,14 @@ class Broker:
             if queue is None:
                 continue
             if queue.policy.durable:
-                overhead += self.durability_overhead_s
+                overhead += self.durability_overhead_s * multiplicity
             if not queue.is_control and self.memory_pressure():
                 outcomes.append(PublishOutcome(False, "memory-watermark", queue_name))
-                self.monitor.count("blocked_publishes")
+                self.monitor.count("blocked_publishes", float(multiplicity))
                 continue
             outcomes.append(queue.publish(message))
         yield self.env.timeout(overhead)
-        self._publishes_counter.value += 1.0
+        self._publishes_counter.value += float(multiplicity)
         if not queue_names:
             self.monitor.count("unroutable")
         return outcomes

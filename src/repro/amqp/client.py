@@ -86,8 +86,8 @@ class ProducerClient:
             accepted = bool(outcomes) and all(o.accepted for o in outcomes)
             if accepted:
                 break
-            self.rejected += 1
-            self.monitor.count("rejected")
+            self.rejected += message.multiplicity
+            self.monitor.count("rejected", float(message.multiplicity))
             if not outcomes:
                 # Unroutable: retrying will not help.
                 return False
@@ -97,8 +97,13 @@ class ProducerClient:
             # Backpressure: wait and republish (reject-publish semantics).
             yield self.env.timeout(self.reject_backoff_s * min(attempts, 10))
 
-        self.published += 1
-        self._published_counter.value += 1.0
+        # Published counts are logical (multiplicity-weighted); the confirm
+        # window stays in aggregate sends, because one aggregate publish is
+        # one outstanding message per represented client — every client in
+        # the population hits its per-client batch threshold simultaneously
+        # and their confirms share the same round trip.
+        self.published += message.multiplicity
+        self._published_counter.value += float(message.multiplicity)
         self._unconfirmed += 1
         if (self.ack_policy.effective_publisher_batch
                 and self._unconfirmed >= self.ack_policy.effective_publisher_batch):
@@ -148,9 +153,11 @@ class ConsumerClient:
         yield from self.connection.send(message)
         message.consumed_at = self.env.now
         message.headers["consumer"] = self.name
-        self.received += 1
-        self._received_counter.value += 1.0
-        self._bytes_counter.value += message.wire_bytes
+        # Logical counts: an aggregate delivery stands for one message per
+        # population member (exact at multiplicity 1).
+        self.received += message.multiplicity
+        self._received_counter.value += float(message.multiplicity)
+        self._bytes_counter.value += message.wire_bytes * message.multiplicity
         yield self.mailbox.put(message)
 
     def subscribe(self, queue_name: str, *, prefetch: Optional[int] = None) -> str:

@@ -129,8 +129,9 @@ class BrokerCluster:
             yield from element.traverse(message)
         # The destination host spends CPU receiving the relayed message.
         yield from dst.host.traverse(message)
-        self.monitor.count("interbroker_messages")
-        self.monitor.count("interbroker_bytes", message.wire_bytes)
+        self.monitor.count("interbroker_messages", float(message.multiplicity))
+        self.monitor.count("interbroker_bytes",
+                           message.wire_bytes * message.multiplicity)
 
     def publish(self, entry_broker: Broker, message: Message,
                 exchange_name: str, routing_key: str) -> Generator:
@@ -140,9 +141,12 @@ class BrokerCluster:
         message to the leader of each destination queue when needed, and
         returns the list of :class:`PublishOutcome`.
         """
+        multiplicity = message.multiplicity
         queue_names = entry_broker.route(exchange_name, routing_key)
         outcomes: list[PublishOutcome] = []
-        yield self.env.timeout(entry_broker.publish_overhead_s)
+        # Entry-broker routing cost scales with the logical message count
+        # (exact at multiplicity 1).
+        yield self.env.timeout(entry_broker.publish_overhead_s * multiplicity)
         if not queue_names:
             self.monitor.count("unroutable")
             return outcomes
@@ -163,10 +167,10 @@ class BrokerCluster:
                 queue = leader.queues[queue_name]
                 if not queue.is_control and leader.memory_pressure():
                     outcomes.append(PublishOutcome(False, "memory-watermark", queue_name))
-                    leader.monitor.count("blocked_publishes")
+                    leader.monitor.count("blocked_publishes", float(multiplicity))
                     continue
                 outcomes.append(queue.publish(message))
-        self._publishes_counter.value += 1.0
+        self._publishes_counter.value += float(multiplicity)
         return outcomes
 
     def subscribe(self, queue_name: str, tag: str,

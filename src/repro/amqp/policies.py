@@ -49,9 +49,14 @@ class QueuePolicy:
     durable: bool = False
 
     def accepts(self, current_length: int, current_bytes: float,
-                incoming_bytes: float) -> bool:
-        """Whether a queue currently within these limits can take a message."""
-        if self.max_length and current_length + 1 > self.max_length:
+                incoming_bytes: float, incoming_count: int = 1) -> bool:
+        """Whether a queue currently within these limits can take a message.
+
+        ``incoming_count`` is the number of logical messages the publish
+        stands for (the message's multiplicity); aggregate-client publishes
+        consume that many slots of ``max_length`` at once.
+        """
+        if self.max_length and current_length + incoming_count > self.max_length:
             return False
         if self.max_length_bytes and current_bytes + incoming_bytes > self.max_length_bytes:
             return False

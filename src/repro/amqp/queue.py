@@ -78,6 +78,12 @@ class ClassicQueue:
         self._depth_series = self.monitor.timeseries("depth")
         self._ready: deque[Message] = deque()
         self._ready_bytes = 0.0
+        # Logical (multiplicity-weighted) message counts.  An aggregate
+        # message of multiplicity K occupies K slots of ``max_length`` and
+        # counts as K ready/unacked messages; at multiplicity 1 these equal
+        # the structural deque/dict lengths exactly.
+        self._ready_messages = 0
+        self._unacked_messages = 0
         self._consumers: dict[str, ConsumerHandle] = {}
         self._rr_order: deque[str] = deque()
         self._next_delivery_tag = 1
@@ -93,7 +99,8 @@ class ClassicQueue:
     # -- publishing -----------------------------------------------------------
     @property
     def ready_count(self) -> int:
-        return len(self._ready)
+        """Logical ready messages (multiplicity-weighted)."""
+        return self._ready_messages
 
     @property
     def ready_bytes(self) -> float:
@@ -101,7 +108,8 @@ class ClassicQueue:
 
     @property
     def unacked_count(self) -> int:
-        return len(self._unacked)
+        """Logical unacknowledged messages (multiplicity-weighted)."""
+        return self._unacked_messages
 
     @property
     def depth(self) -> int:
@@ -109,25 +117,35 @@ class ClassicQueue:
         return self.ready_count + self.unacked_count
 
     def publish(self, message: Message) -> PublishOutcome:
-        """Offer a message to the queue, applying the overflow policy."""
-        if not self.policy.accepts(len(self._ready), self._ready_bytes,
-                                   message.payload_bytes):
+        """Offer a message to the queue, applying the overflow policy.
+
+        Bounds and counters are applied in logical units: an aggregate
+        message of multiplicity K takes K slots of ``max_length`` and K
+        messages' worth of bytes, so population runs see the same
+        backpressure a fleet of discrete clients would.
+        """
+        multiplicity = message.multiplicity
+        incoming_bytes = message.payload_bytes * multiplicity
+        if not self.policy.accepts(self._ready_messages, self._ready_bytes,
+                                   incoming_bytes, multiplicity):
             if self.policy.overflow is OverflowPolicy.REJECT_PUBLISH:
-                self.rejected += 1
-                self.monitor.count("rejected")
+                self.rejected += multiplicity
+                self.monitor.count("rejected", float(multiplicity))
                 return PublishOutcome(False, "queue-full", self.name)
             # drop-head: evict the oldest ready message to make room.
             if self._ready:
                 victim = self._ready.popleft()
-                self._ready_bytes -= victim.payload_bytes
-                self.monitor.count("dropped")
+                self._ready_bytes -= victim.payload_bytes * victim.multiplicity
+                self._ready_messages -= victim.multiplicity
+                self.monitor.count("dropped", float(victim.multiplicity))
         self._ready.append(message)
-        self._ready_bytes += message.payload_bytes
-        self.published += 1
+        self._ready_bytes += incoming_bytes
+        self._ready_messages += multiplicity
+        self.published += multiplicity
         now = self.env.now
         message.published_at = now
-        self._published_counter.value += 1.0
-        self._depth_series.record(now, len(self._ready) + len(self._unacked))
+        self._published_counter.value += float(multiplicity)
+        self._depth_series.record(now, self._ready_messages + self._unacked_messages)
         self._notify()
         return PublishOutcome(True, "", self.name)
 
@@ -164,8 +182,9 @@ class ClassicQueue:
             tags = sorted(t for t in self._unacked if t <= delivery_tag)
         else:
             tags = [delivery_tag] if delivery_tag in self._unacked else []
+        settled_logical = 0
         for tag in tags:
-            consumer_tag, _message = self._unacked.pop(tag)
+            consumer_tag, message = self._unacked.pop(tag)
             handle = self._consumers.get(consumer_tag)
             if handle is not None:
                 handle.outstanding = max(0, handle.outstanding - 1)
@@ -174,9 +193,11 @@ class ClassicQueue:
                     handle.unacked_tags.remove(tag)
                 except ValueError:
                     pass
-            self.acked += 1
+            self.acked += message.multiplicity
+            self._unacked_messages -= message.multiplicity
+            settled_logical += message.multiplicity
         if tags:
-            self.monitor.count("acked", len(tags))
+            self.monitor.count("acked", float(settled_logical))
             self._notify()
         return len(tags)
 
@@ -194,8 +215,10 @@ class ClassicQueue:
             except ValueError:
                 pass
         self._ready.appendleft(message)
-        self._ready_bytes += message.payload_bytes
-        self.monitor.count("requeued")
+        self._ready_bytes += message.payload_bytes * message.multiplicity
+        self._ready_messages += message.multiplicity
+        self._unacked_messages -= message.multiplicity
+        self.monitor.count("requeued", float(message.multiplicity))
         self._notify()
         return True
 
@@ -222,18 +245,24 @@ class ClassicQueue:
                 self._wakeup = self.env.event()
                 continue
             message = self._ready.popleft()
-            self._ready_bytes -= message.payload_bytes
+            multiplicity = message.multiplicity
+            self._ready_bytes -= message.payload_bytes * multiplicity
+            self._ready_messages -= multiplicity
+            self._unacked_messages += multiplicity
             delivery_tag = self._next_delivery_tag
             self._next_delivery_tag = delivery_tag + 1
+            # Prefetch credit stays in aggregate-delivery units: one
+            # aggregate delivery represents one in-flight message per
+            # population member, so per-consumer windows apply unchanged.
             handle.outstanding += 1
             handle.delivered += 1
             handle.unacked_tags.append(delivery_tag)
             self._unacked[delivery_tag] = (handle.tag, message)
-            self.delivered += 1
+            self.delivered += multiplicity
             message.headers["delivery_tag"] = delivery_tag
             message.headers["consumer_tag"] = handle.tag
             message.headers["queue"] = self.name
-            self._delivered_counter.value += 1.0
+            self._delivered_counter.value += float(multiplicity)
             # Deliveries pipeline: each runs as its own process so a slow
             # consumer path does not head-of-line block the queue.
             self.env.process(handle.deliver(message),

@@ -200,6 +200,10 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--messages", type=int, default=50)
     experiment.add_argument("--runs", type=int, default=1)
     experiment.add_argument("--seed", type=int, default=1)
+    experiment.add_argument("--population", type=int, default=1,
+                            help="logical clients each producer/consumer "
+                                 "process stands for (aggregate-client "
+                                 "model; 1 = discrete clients)")
     experiment.add_argument("--csv", default=None)
 
     figure = sub.add_parser("figure", parents=[execution],
@@ -232,6 +236,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--messages", type=int, default=20)
     sweep.add_argument("--runs", type=int, default=1)
     sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--population", type=int, default=1,
+                       help="logical clients each producer/consumer process "
+                            "stands for (aggregate-client model; 1 = "
+                            "discrete clients)")
     sweep.add_argument("--metric", default="throughput_msgs_per_s",
                        help="result attribute reported per point")
     sweep.add_argument("--csv", default=None)
@@ -343,7 +351,8 @@ def _cmd_sweep(args: argparse.Namespace, session: Session) -> int:
     base = ExperimentConfig(
         workload=args.workload, pattern=args.pattern,
         num_producers=producers, num_consumers=args.consumers[0],
-        messages_per_producer=args.messages, runs=args.runs, seed=args.seed)
+        messages_per_producer=args.messages, runs=args.runs, seed=args.seed,
+        population=args.population)
     sweep = ConsumerSweep(
         base, architectures=args.architectures, consumer_counts=args.consumers,
         equal_producers=not args.pattern.startswith("broadcast"))
@@ -364,7 +373,7 @@ def _cmd_experiment(args: argparse.Namespace, session: Session) -> int:
         architecture=args.architecture, workload=args.workload,
         pattern=args.pattern, num_producers=producers,
         num_consumers=args.consumers, messages_per_producer=args.messages,
-        runs=args.runs, seed=args.seed)
+        runs=args.runs, seed=args.seed, population=args.population)
     # One point through the same session machinery as every sweep, so a
     # single experiment honors --cache/--timeout/--retries too.
     outcomes = session.run(ScenarioSet().add_config(config))
@@ -527,7 +536,17 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                                                platform_mod.python_version())
                     and snapshot.get("platform") in (None,
                                                      platform_mod.platform()))
+                # Identify the baseline alongside every regression line so
+                # a failing CI log says exactly which build/machine recorded
+                # the numbers being compared against.
+                snapshot_env = (
+                    f"git {str(snapshot.get('git_sha') or 'unknown')[:12]}, "
+                    f"{snapshot.get('platform') or 'unknown platform'}")
                 if same_env:
+                    for name in regressions:
+                        print(f"[bench] regression: {name} "
+                              f"(vs BENCH_{index}.json @ {snapshot_env})",
+                              file=sys.stderr)
                     print(f"[bench] {len(regressions)} regression(s): "
                           f"{', '.join(regressions)}", file=sys.stderr)
                     exit_code = 1
@@ -536,9 +555,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                           f"regression(s) ({', '.join(regressions)}) vs a "
                           f"snapshot from a different python/platform "
                           f"({snapshot.get('python')}, "
-                          f"{snapshot.get('platform')}); not failing — "
-                          f"re-record with `make bench` on this machine",
-                          file=sys.stderr)
+                          f"{snapshot.get('platform')}, @ {snapshot_env}); "
+                          f"not failing — re-record with `make bench` on "
+                          f"this machine", file=sys.stderr)
 
     if not args.no_save:
         if exit_code:

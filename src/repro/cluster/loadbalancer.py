@@ -72,8 +72,8 @@ class HardwareLoadBalancer:
         with self._inflight.request() as slot:
             yield slot
             yield from self.host.traverse(message, tls=self.tls)
-        self._messages_counter.value += 1.0
-        self._bytes_counter.value += message.wire_bytes
+        self._messages_counter.value += float(message.multiplicity)
+        self._bytes_counter.value += message.wire_bytes * message.multiplicity
         self._delay_series.record(arrived, self.env.now - arrived)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -108,7 +108,7 @@ class IngressController:
         with self._inflight.request() as slot:
             yield slot
             yield from self.host.traverse(message, tls=self.tls)
-        self._messages_counter.value += 1.0
+        self._messages_counter.value += float(message.multiplicity)
         self._delay_series.record(arrived, self.env.now - arrived)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

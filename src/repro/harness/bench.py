@@ -191,6 +191,47 @@ def _bench_sweep_end_to_end() -> float:
     return float(len(outcomes))
 
 
+def _bench_discrete_clients_point() -> float:
+    """Baseline: one point with 100 *discrete* clients (population=1).
+
+    The foil for ``population_sweep``: the same testbed and per-client
+    workload, but every client is its own producer process, so the cost
+    is O(clients).
+    """
+    from dataclasses import replace
+
+    from .experiment import Experiment
+
+    config = replace(_experiment_config(), num_producers=100)
+    result = Experiment(config).run_single(0)
+    assert result.completed
+    return float(result.consumed)
+
+
+def _bench_population_sweep() -> float:
+    """Aggregate-client scaling: 10^4 logical clients via the population axis.
+
+    Sweeps the opt-in ``populations`` scenario coordinate over {1, 2500}
+    on the standard 4-producer point — the K=2500 point stands for
+    4 x 2500 = 10^4 logical clients yet simulates only 4 aggregate
+    producers, so the whole two-point sweep should stay within ~2x of the
+    100-discrete-client baseline above.
+    """
+    from .runner import ScenarioSet
+    from .session import Session
+
+    scenarios = ScenarioSet.grid(_experiment_config(),
+                                 populations=[1, 2500])
+    with Session(backend="serial") as session:
+        outcomes = session.run(scenarios)
+    assert len(outcomes) == 2, len(outcomes)
+    assert all(outcome.result.feasible for outcome in outcomes)
+    # 4 producers x 25 messages x (1 + 2500) logical clients.
+    consumed = sum(outcome.result.consumed for outcome in outcomes)
+    assert consumed == 250_100, consumed
+    return float(consumed)
+
+
 #: Registered benches in execution (and report) order.
 _BENCHES: dict[str, Callable[[], float]] = {
     "simkit_event_loop": _bench_simkit_event_loop,
@@ -199,6 +240,8 @@ _BENCHES: dict[str, Callable[[], float]] = {
     "broker_publish_consume": _bench_broker_publish_consume,
     "experiment_point": _bench_experiment_point,
     "sweep_end_to_end": _bench_sweep_end_to_end,
+    "discrete_clients_point": _bench_discrete_clients_point,
+    "population_sweep": _bench_population_sweep,
 }
 
 

@@ -36,6 +36,12 @@ class ExperimentConfig:
     num_consumers: int = 1
     #: Messages each producer publishes per run.
     messages_per_producer: int = 50
+    #: Clients each producer endpoint stands for (aggregate-client
+    #: populations): every producer process emits aggregate messages of this
+    #: multiplicity, so a point simulates ``num_producers * population``
+    #: logical clients at O(num_producers) cost.  1 = discrete clients
+    #: (bit-identical to the historical behaviour).
+    population: int = 1
     #: Independent repetitions averaged into the reported point (§5.2: three).
     runs: int = 1
     #: Root random seed; each run derives its own seed from it.
@@ -73,6 +79,9 @@ class ExperimentConfig:
             raise ValueError("producer/consumer counts must be >= 1")
         if self.messages_per_producer < 1:
             raise ValueError("messages_per_producer must be >= 1")
+        if self.population < 1:
+            raise ValueError(
+                f"population must be >= 1, got {self.population}")
         if self.runs < 1:
             raise ValueError("runs must be >= 1")
         if self.runs >= 1000:
@@ -88,8 +97,13 @@ class ExperimentConfig:
     # -- derived quantities -----------------------------------------------------------
     @property
     def total_messages(self) -> int:
-        """Messages published per run (before any fan-out)."""
-        return self.num_producers * self.messages_per_producer
+        """Logical messages published per run (before any fan-out)."""
+        return self.num_producers * self.messages_per_producer * self.population
+
+    @property
+    def total_clients(self) -> int:
+        """Logical producer clients the point simulates."""
+        return self.num_producers * self.population
 
     def with_consumers(self, consumers: int, *,
                        equal_producers: bool = True) -> "ExperimentConfig":
@@ -139,6 +153,7 @@ class ExperimentConfig:
             "producers": self.num_producers,
             "consumers": self.num_consumers,
             "messages_per_producer": self.messages_per_producer,
+            "population": self.population,
             "runs": self.runs,
             "seed": self.seed,
         }

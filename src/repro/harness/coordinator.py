@@ -54,6 +54,15 @@ class Coordinator:
         self.last_consume_time: Optional[float] = None
         self.latency_samples: array = array("d")
         self.rtt_samples: array = array("d")
+        # Parallel multiplicity-weight columns: one entry per sample above.
+        # Discrete clients record weight 1.0; an aggregate message of
+        # multiplicity K records its representative sample once with weight
+        # K.  ``weighted`` flips to True the first time any weight differs
+        # from 1, so unweighted runs reduce through the historical
+        # (bit-identical) unweighted stats path.
+        self.latency_weights: array = array("d")
+        self.rtt_weights: array = array("d")
+        self.weighted = False
         self.per_consumer_counts: dict[str, int] = {}
         self.per_producer_replies: dict[str, int] = {}
         self.finished_producers: set[str] = set()
@@ -77,23 +86,28 @@ class Coordinator:
 
     # -- recording -----------------------------------------------------------
     def record_publish(self, message: Message) -> None:
-        self.published += 1
+        self.published += message.multiplicity
         if self.first_publish_time is None:
             self.first_publish_time = self.env.now
-        self._published_counter.value += 1.0
+        self._published_counter.value += float(message.multiplicity)
 
     def record_failed_publish(self, message: Message) -> None:
-        self.failed_publishes += 1
-        self.monitor.count("failed_publishes")
+        self.failed_publishes += message.multiplicity
+        self.monitor.count("failed_publishes", float(message.multiplicity))
 
     def record_consume(self, message: Message, consumer: str) -> None:
-        self.consumed += 1
-        self.consumed_payload_bytes += message.payload_bytes
+        multiplicity = message.multiplicity
+        if multiplicity != 1:
+            self.weighted = True
+        self.consumed += multiplicity
+        self.consumed_payload_bytes += message.payload_bytes * multiplicity
         self.last_consume_time = self.env.now
-        self.per_consumer_counts[consumer] = self.per_consumer_counts.get(consumer, 0) + 1
+        self.per_consumer_counts[consumer] = (
+            self.per_consumer_counts.get(consumer, 0) + multiplicity)
         consumed_at = message.consumed_at
         if consumed_at is not None:
             self.latency_samples.append(consumed_at - message.created_at)
+            self.latency_weights.append(float(multiplicity))
         hops = message.hops
         if hops:
             # One pass over the hops feeds both aggregates.  The per-kind
@@ -109,21 +123,30 @@ class Coordinator:
                     breakdown[kind] += duration
                 else:
                     breakdown[kind] = duration
-                counts[kind] = counts.get(kind, 0) + 1
+                # Hop counts are logical: an aggregate message's hop stands
+                # for one traversal per represented client.  The hop *times*
+                # are not rescaled — aggregate hop durations already embody
+                # the K-fold serialization/CPU cost.
+                counts[kind] = counts.get(kind, 0) + multiplicity
             times = self.hop_time_by_kind
             for kind, seconds in breakdown.items():
                 times[kind] = times.get(kind, 0.0) + seconds
-        self._consumed_counter.value += 1.0
+        self._consumed_counter.value += float(multiplicity)
         self._check_done()
 
     def record_reply(self, reply: Message, producer: str) -> None:
-        self.replies += 1
+        multiplicity = reply.multiplicity
+        if multiplicity != 1:
+            self.weighted = True
+        self.replies += multiplicity
         self.last_consume_time = self.env.now
-        self.per_producer_replies[producer] = self.per_producer_replies.get(producer, 0) + 1
+        self.per_producer_replies[producer] = (
+            self.per_producer_replies.get(producer, 0) + multiplicity)
         request_created = reply.headers.get("request_created_at")
         if request_created is not None:
             self.rtt_samples.append(self.env.now - float(request_created))
-        self._replies_counter.value += 1.0
+            self.rtt_weights.append(float(multiplicity))
+        self._replies_counter.value += float(multiplicity)
         self._check_done()
 
     def record_producer_finished(self, producer: str) -> None:

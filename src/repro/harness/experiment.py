@@ -18,7 +18,8 @@ from ..architectures import DeploymentError, Testbed, make_architecture
 from ..metrics import compute_rtt, compute_throughput
 from ..patterns import ExperimentContext, make_pattern
 from ..simkit import AnyOf, Environment
-from ..workloads import WorkloadGenerator, get_workload
+from ..workloads import (ClientPopulation, PopulationSpec, WorkloadGenerator,
+                         get_workload)
 from .config import ExperimentConfig
 from .coordinator import Coordinator
 from .results import ExperimentResult, RunResult
@@ -99,11 +100,18 @@ class Experiment:
             ctx.producer_endpoints.append(endpoints)
             ctx.producer_launch_delays.append(placement.launch_delay_s)
             rng = testbed.streams.stream("workload", placement.rank)
-            ctx.producer_generators.append(WorkloadGenerator(
+            generator = WorkloadGenerator(
                 workload, rng=rng,
                 vary_events=config.vary_events,
                 rate_limited=config.rate_limited,
-                num_producers=config.num_producers))
+                num_producers=config.num_producers)
+            # Every producer endpoint is an aggregate population — size 1
+            # for discrete clients (a zero-cost, draw-free wrapper that is
+            # bit-identical to the bare generator), size K for
+            # aggregate-client runs.  Wrapping unconditionally keeps the
+            # golden-digest tests exercising the population code path.
+            ctx.producer_generators.append(ClientPopulation(
+                generator, PopulationSpec(size=config.population)))
 
     def _reduce(self, ctx: ExperimentContext, result: RunResult,
                 deploy_end: float) -> RunResult:
@@ -121,10 +129,18 @@ class Experiment:
             payload_bytes=coordinator.consumed_payload_bytes,
             first_publish_s=start,
             last_consume_s=end)
+        # Weighted runs (aggregate populations) carry their multiplicity
+        # columns; unweighted runs reduce through the historical path so
+        # their serialized results stay bit-identical.
+        weighted = coordinator.weighted
         if coordinator.rtt_samples:
-            result.rtt = compute_rtt(coordinator.rtt_samples)
+            result.rtt = compute_rtt(
+                coordinator.rtt_samples,
+                weights=coordinator.rtt_weights if weighted else None)
         if coordinator.latency_samples:
-            result.latency = compute_rtt(coordinator.latency_samples)
+            result.latency = compute_rtt(
+                coordinator.latency_samples,
+                weights=coordinator.latency_weights if weighted else None)
         result.consumer_balance = coordinator.balance_across_consumers()
         result.extra = {
             "deploy_end_s": deploy_end,

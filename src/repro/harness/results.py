@@ -95,7 +95,7 @@ class RunResult:
     # -- serialization -----------------------------------------------------------
     def to_json_dict(self) -> dict:
         """Plain-JSON representation; inverse of :meth:`from_json_dict`."""
-        return {
+        payload = {
             "architecture": self.architecture,
             "workload": self.workload,
             "pattern": self.pattern,
@@ -118,12 +118,22 @@ class RunResult:
             "consumer_balance": self.consumer_balance,
             "extra": self.extra,
         }
+        # Multiplicity weight columns appear ONLY for weighted (aggregate
+        # population) runs, so the serialized bytes of unweighted runs — and
+        # therefore their golden digests — are unchanged.
+        if self.rtt is not None and self.rtt.weights is not None:
+            payload["rtt_weights"] = self.rtt.weights.tolist()
+        if self.latency is not None and self.latency.weights is not None:
+            payload["latency_weights"] = self.latency.weights.tolist()
+        return payload
 
     @classmethod
     def from_json_dict(cls, payload: dict) -> "RunResult":
         throughput = payload.get("throughput")
         rtt_samples = payload.get("rtt_samples")
         latency_samples = payload.get("latency_samples")
+        rtt_weights = payload.get("rtt_weights")
+        latency_weights = payload.get("latency_weights")
         return cls(
             architecture=payload["architecture"],
             workload=payload["workload"],
@@ -141,8 +151,9 @@ class RunResult:
             completed=payload.get("completed", True),
             throughput=(ThroughputResult(**throughput)
                         if throughput is not None else None),
-            rtt=(compute_rtt(rtt_samples) if rtt_samples is not None else None),
-            latency=(compute_rtt(latency_samples)
+            rtt=(compute_rtt(rtt_samples, weights=rtt_weights)
+                 if rtt_samples is not None else None),
+            latency=(compute_rtt(latency_samples, weights=latency_weights)
                      if latency_samples is not None else None),
             consumer_balance=payload.get("consumer_balance", float("nan")),
             extra=payload.get("extra", {}),
@@ -208,6 +219,16 @@ class ExperimentResult:
         return np.concatenate(chunks)
 
     def pooled_rtt(self) -> RTTResult:
+        runs = [run for run in self._feasible_runs()
+                if run.rtt is not None and run.rtt.count]
+        if any(run.rtt.weights is not None for run in runs):
+            # Pool the multiplicity weights alongside the samples; runs
+            # without weights contribute unit weights.
+            weights = np.concatenate([
+                run.rtt.weights if run.rtt.weights is not None
+                else np.ones(run.rtt.samples.size)
+                for run in runs])
+            return compute_rtt(self.rtt_samples, weights=weights)
         return compute_rtt(self.rtt_samples)
 
     @property

@@ -345,6 +345,7 @@ class ScenarioSet:
              workloads: Optional[Sequence[str]] = None,
              patterns: Optional[Sequence[str]] = None,
              consumer_counts: Optional[Sequence[int]] = None,
+             populations: Optional[Sequence[int]] = None,
              seeds: Optional[Sequence[int]] = None,
              equal_producers: bool = True) -> "ScenarioSet":
         """Cartesian grid over the paper's scenario axes.
@@ -353,10 +354,16 @@ class ScenarioSet:
         explicitly empty axis raises ``ValueError`` instead of silently
         collapsing onto the base value.  Points are ordered
         architecture-major (matching the historical sweep loops), then
-        workload, pattern, consumer count and seed.  ``base``'s
+        workload, pattern, consumer count, population and seed.  ``base``'s
         ``architecture_options`` apply only to points whose architecture is
         the base's own — other architectures on the axis start from clean
         options.
+
+        ``populations`` is the opt-in aggregate-client axis: each value K
+        makes every producer endpoint stand for K clients (see
+        :class:`~repro.workloads.population.ClientPopulation`).  When the
+        axis is omitted the points carry no ``population`` coordinate and
+        the grid is identical to the historical one.
         """
         scenarios = cls()
         for architecture in _axis_values("architectures", architectures,
@@ -373,12 +380,23 @@ class ScenarioSet:
                                                   [base.num_consumers]):
                         point_config = config.with_consumers(
                             consumers, equal_producers=equal_producers)
-                        for seed in _axis_values("seeds", seeds, [base.seed]):
-                            scenarios.add_config(
-                                replace(point_config, seed=seed),
-                                label=architecture,
-                                workload=workload, pattern=pattern,
-                                consumers=consumers, seed=seed)
+                        for population in _axis_values(
+                                "populations", populations,
+                                [base.population]):
+                            pop_config = replace(point_config,
+                                                 population=population)
+                            # Record the coordinate only when the axis was
+                            # requested, so existing grids keep their axes.
+                            pop_axes = ({"population": population}
+                                        if populations is not None else {})
+                            for seed in _axis_values("seeds", seeds,
+                                                     [base.seed]):
+                                scenarios.add_config(
+                                    replace(pop_config, seed=seed),
+                                    label=architecture,
+                                    workload=workload, pattern=pattern,
+                                    consumers=consumers, **pop_axes,
+                                    seed=seed)
         return scenarios
 
     @classmethod
@@ -397,7 +415,7 @@ class ScenarioSet:
           (disable with ``equal_producers=False``);
 
         — or a dotted path into the config dataclasses, validated before
-        anything runs: ``"seed"``, ``"workload"``,
+        anything runs: ``"seed"``, ``"workload"``, ``"population"``,
         ``"testbed.link_bandwidth_bps"``, ``"testbed.dsn_count"``,
         ``"testbed.ack_policy.mode"``, ...
 

@@ -9,6 +9,7 @@ from .stats import (
     empirical_cdf,
     percentile,
     summarize,
+    weighted_percentile,
 )
 from .throughput import ThroughputResult, compute_throughput
 
@@ -17,6 +18,7 @@ __all__ = [
     "summarize",
     "percentile",
     "empirical_cdf",
+    "weighted_percentile",
     "as_float_array",
     "ThroughputResult",
     "compute_throughput",

@@ -20,12 +20,18 @@ __all__ = ["RTTResult", "compute_rtt"]
 
 @dataclass(frozen=True)
 class RTTResult:
-    """RTT distribution summary for one experiment run."""
+    """RTT distribution summary for one experiment run.
+
+    ``weights`` is ``None`` for discrete-client runs; aggregate-client runs
+    carry one multiplicity weight per sample, and every statistic is over
+    the expanded logical sample (each sample counted ``weights[i]`` times).
+    """
 
     summary: SummaryStats
     cdf_x: np.ndarray = field(repr=False)
     cdf_p: np.ndarray = field(repr=False)
     samples: np.ndarray = field(repr=False)
+    weights: "np.ndarray | None" = field(default=None, repr=False)
 
     @property
     def median_s(self) -> float:
@@ -39,6 +45,9 @@ class RTTResult:
         """Fraction of messages with RTT below ``threshold_s`` (CDF lookup)."""
         if self.samples.size == 0:
             return float("nan")
+        if self.weights is not None:
+            under = np.dot(self.weights, self.samples <= threshold_s)
+            return float(under / np.sum(self.weights))
         return float(np.mean(self.samples <= threshold_s))
 
     def as_dict(self) -> dict:
@@ -47,10 +56,15 @@ class RTTResult:
         return payload
 
 
-def compute_rtt(samples: Iterable[float], *, cdf_points: int = 200) -> RTTResult:
+def compute_rtt(samples: Iterable[float], *, cdf_points: int = 200,
+                weights: "Iterable[float] | None" = None) -> RTTResult:
     """Reduce raw RTT samples to the summary + CDF used by the figures."""
     # The result retains the samples, so take an owned copy of the source
     # buffer (coordinators hand in live array('d') columns).
     array = as_float_array(samples, copy=True)
-    x, p = empirical_cdf(array, points=cdf_points)
-    return RTTResult(summary=summarize(array), cdf_x=x, cdf_p=p, samples=array)
+    warray = None
+    if weights is not None:
+        warray = as_float_array(weights, copy=True)
+    x, p = empirical_cdf(array, points=cdf_points, weights=warray)
+    return RTTResult(summary=summarize(array, warray), cdf_x=x, cdf_p=p,
+                     samples=array, weights=warray)

@@ -100,9 +100,12 @@ class Connection:
         started = self.env.now
         for stage in self.stages:
             yield from stage.traverse(message)
-        self.messages_sent += 1
-        self._messages_counter.value += 1.0
-        self._bytes_counter.value += message.wire_bytes
+        # Counters account logical client messages: an aggregate message of
+        # multiplicity K counts as K sends (exact at K=1).
+        multiplicity = message.multiplicity
+        self.messages_sent += multiplicity
+        self._messages_counter.value += float(multiplicity)
+        self._bytes_counter.value += message.wire_bytes * multiplicity
         self._path_delay_series.record(started, self.env.now - started)
         return message
 

@@ -73,6 +73,15 @@ class Message:
     #: headers, TCP/IP overhead amortised per message).
     framing_bytes: float = 512.0
 
+    #: How many logical client messages this object stands for.  Discrete
+    #: clients always send multiplicity 1; a
+    #: :class:`~repro.workloads.population.ClientPopulation` of K clients
+    #: emits one aggregate message with multiplicity K, and every resource
+    #: cost and counter along the path scales by it.  ``x * 1`` is exact in
+    #: IEEE arithmetic, so the multiplicity-1 path is bit-identical to the
+    #: historical per-client accounting.
+    multiplicity: int = 1
+
     @property
     def wire_bytes(self) -> float:
         """Bytes that actually cross a link for this message."""
@@ -110,6 +119,7 @@ class Message:
             routing_key=self.reply_to or "",
             correlation_id=self.message_id,
             created_at=now,
+            multiplicity=self.multiplicity,
         )
         reply.headers["request_id"] = self.message_id
         reply.headers["request_created_at"] = self.created_at
@@ -132,7 +142,10 @@ class MessageFactory:
                payload_format: str = "binary",
                reply_to: Optional[str] = None,
                is_control: bool = False,
+               multiplicity: int = 1,
                headers: Optional[dict[str, Any]] = None) -> Message:
+        if multiplicity < 1:
+            raise ValueError(f"multiplicity must be >= 1, got {multiplicity}")
         message = Message(
             message_id=next(_message_ids),
             payload_bytes=float(payload_bytes),
@@ -144,6 +157,7 @@ class MessageFactory:
             is_control=is_control,
             created_at=now,
             framing_bytes=self.framing_bytes,
+            multiplicity=int(multiplicity),
         )
         if headers:
             message.headers.update(headers)

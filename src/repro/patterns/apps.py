@@ -50,6 +50,10 @@ class ProducerApp:
         #: Replies each published message generates (1 for work sharing with
         #: feedback, the consumer count for broadcast and gather).
         self.replies_per_message = max(1, int(replies_per_message))
+        #: Logical clients this producer stands for: 1 for a discrete
+        #: client, K when driven by a ClientPopulation.  Stamped onto every
+        #: created message as its multiplicity weight.
+        self.multiplicity = max(1, int(getattr(generator, "multiplicity", 1)))
         self.factory = MessageFactory(name)
         self.sent = 0
         self.failed = 0
@@ -79,6 +83,7 @@ class ProducerApp:
                 event_count=blueprint.event_count,
                 payload_format=blueprint.payload_format,
                 reply_to=self.reply_to,
+                multiplicity=self.multiplicity,
                 headers={**blueprint.headers, "producer": self.name},
             )
             self.coordinator.record_publish(message)
@@ -148,7 +153,11 @@ class ConsumerApp:
             message = yield self.endpoints.subscriber.get()
             self.received += 1
             if self.processing_time_s > 0:
-                yield self.env.timeout(self.processing_time_s)
+                # An aggregate delivery carries one message per represented
+                # client; the consumer-side compute scales with that logical
+                # count (exact at multiplicity 1).
+                yield self.env.timeout(self.processing_time_s
+                                       * message.multiplicity)
             self.coordinator.record_consume(message, self.name)
             if self.reply:
                 routing_key = self.reply_routing_key or message.reply_to

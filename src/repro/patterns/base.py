@@ -22,7 +22,7 @@ from ..amqp import ExchangeType, QueuePolicy
 from ..architectures import StreamingArchitecture, Testbed
 from ..architectures.base import ClientEndpoints
 from ..simkit import Environment
-from ..workloads import WorkloadGenerator, WorkloadSpec
+from ..workloads import ClientPopulation, WorkloadGenerator, WorkloadSpec
 from .apps import ConsumerApp, ProducerApp
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -44,7 +44,11 @@ class ExperimentContext:
     coordinator: "Coordinator"
     producer_endpoints: list[ClientEndpoints] = field(default_factory=list)
     consumer_endpoints: list[ClientEndpoints] = field(default_factory=list)
-    producer_generators: list[WorkloadGenerator] = field(default_factory=list)
+    #: One generator-like per producer endpoint: a bare
+    #: :class:`WorkloadGenerator` or a :class:`ClientPopulation` wrapping it
+    #: (the harness always wraps; populations of size 1 are discrete clients).
+    producer_generators: "list[WorkloadGenerator | ClientPopulation]" = (
+        field(default_factory=list))
     producer_launch_delays: list[float] = field(default_factory=list)
     consumer_launch_delays: list[float] = field(default_factory=list)
     producer_apps: list[ProducerApp] = field(default_factory=list)

@@ -30,13 +30,16 @@ class BroadcastPattern(MessagingPattern):
 
     # -- completion targets -----------------------------------------------------------
     def expected_consumed(self, config) -> int:
-        # Every broadcast message is delivered to every consumer.
-        return config.messages_per_producer * config.num_consumers
+        # Every broadcast message is delivered to every consumer; the
+        # single producer endpoint stands for ``config.population`` clients.
+        return (config.messages_per_producer * config.num_consumers
+                * config.population)
 
     def expected_replies(self, config) -> int:
         if not self.gather:
             return 0
-        return config.messages_per_producer * config.num_consumers
+        return (config.messages_per_producer * config.num_consumers
+                * config.population)
 
     # -- wiring -----------------------------------------------------------
     def consumer_queue_name(self, consumer_name: str) -> str:
@@ -78,7 +81,12 @@ class BroadcastPattern(MessagingPattern):
         replies_expected = 0
         if self.gather:
             endpoints.subscriber.subscribe(self.gather_queue)
-            replies_expected = self.expected_replies(config)
+            # ``collect_replies`` counts aggregate deliveries, so the target
+            # must NOT scale with ``config.population`` (unlike the
+            # coordinator's logical ``expected_replies``): each broadcast
+            # round yields one aggregate reply per consumer, whatever
+            # multiplicity it carries.
+            replies_expected = config.messages_per_producer * config.num_consumers
         # In the gather variant the producer bounds the number of broadcast
         # *rounds* still awaiting replies (each round expects one reply per
         # consumer), mirroring a collective that waits for stragglers.

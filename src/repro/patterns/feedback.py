@@ -32,11 +32,15 @@ class WorkSharingFeedbackPattern(MessagingPattern):
 
     # -- completion targets -----------------------------------------------------------
     def expected_consumed(self, config) -> int:
-        return config.num_producers * config.messages_per_producer
+        # Logical units: each producer endpoint stands for
+        # ``config.population`` clients.
+        return (config.num_producers * config.messages_per_producer
+                * config.population)
 
     def expected_replies(self, config) -> int:
         # One reply per request, delivered to the originating producer.
-        return config.num_producers * config.messages_per_producer
+        return (config.num_producers * config.messages_per_producer
+                * config.population)
 
     # -- wiring -----------------------------------------------------------
     def work_queue_names(self, config) -> list[str]:
@@ -81,6 +85,10 @@ class WorkSharingFeedbackPattern(MessagingPattern):
                               reply_to=reply_queue,
                               launch_delay_s=ctx.producer_launch_delay(rank),
                               max_outstanding=config.max_outstanding_requests)
+            # ``replies_expected`` is in aggregate deliveries: each of the
+            # producer's aggregate requests returns exactly one aggregate
+            # reply (carrying the population's multiplicity), regardless of
+            # ``config.population``.
             self._start_producer(ctx, app,
                                  messages=config.messages_per_producer,
                                  replies_expected=config.messages_per_producer)

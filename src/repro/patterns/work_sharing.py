@@ -27,7 +27,10 @@ class WorkSharingPattern(MessagingPattern):
     # -- completion targets -----------------------------------------------------------
     def expected_consumed(self, config) -> int:
         # Every published message is consumed by exactly one consumer.
-        return config.num_producers * config.messages_per_producer
+        # Counts are logical: each producer endpoint stands for
+        # ``config.population`` clients (1 = discrete clients).
+        return (config.num_producers * config.messages_per_producer
+                * config.population)
 
     # -- wiring -----------------------------------------------------------
     def work_queue_names(self, config) -> list[str]:

@@ -100,16 +100,19 @@ class TunnelProxy:
 
     def traverse(self, message: Message) -> Generator:
         arrived = self.env.now
+        # An aggregate message of multiplicity K pays K messages' worth of
+        # forwarding work (exact at K=1); the host node scales its own cost.
+        multiplicity = message.multiplicity
         with self._workers.request() as worker:
             yield worker
             # Host CPU (shared with everything else on the gateway node).
             yield from self.host.traverse(message, tls=NULL_TLS)
             # Proxy-software forwarding and tunnel crypto.
-            yield self.env.timeout(self.forwarding_cost(message))
+            yield self.env.timeout(self.forwarding_cost(message) * multiplicity)
         departed = self.env.now
         message.hops.append(HopRecord(self.name, "proxy", arrived, departed))
-        self._messages_counter.value += 1.0
-        self._bytes_counter.value += message.wire_bytes
+        self._messages_counter.value += float(multiplicity)
+        self._bytes_counter.value += message.wire_bytes * multiplicity
         self._delay_series.record(arrived, departed - arrived)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -4,12 +4,15 @@ from .deleria import DELERIA_EVENT_BYTES, DELERIA_EVENTS_PER_MESSAGE, DSTREAM
 from .generator import MessageBlueprint, WorkloadGenerator
 from .generic import GENERIC
 from .lcls import LSTREAM
+from .population import ClientPopulation, PopulationSpec
 from .spec import WorkloadSpec
 
 __all__ = [
     "WorkloadSpec",
     "WorkloadGenerator",
     "MessageBlueprint",
+    "ClientPopulation",
+    "PopulationSpec",
     "DSTREAM",
     "LSTREAM",
     "GENERIC",

@@ -1,0 +1,130 @@
+"""Aggregate-client populations: O(populations) instead of O(clients).
+
+Simulating a million discrete producers means a million simkit processes, a
+million RNG streams and a million per-message bookkeeping passes.  But the
+paper's workloads are *statistically identical* within a role: every Deleria
+producer draws from the same blueprint distribution and paces to the same
+rate.  A :class:`ClientPopulation` exploits that: ONE simkit process emits
+aggregate messages that each carry a ``multiplicity`` weight of K — "this
+message stands for the K messages the K identical clients sent here" — and
+every resource cost and counter along the path (link serialization, node
+CPU, broker overhead, queue slots, metric columns) scales by that weight.
+
+The simulation cost of an experiment is then O(populations), independent of
+K, while byte/message accounting, backpressure and the weighted metric
+reductions still reflect the full client fleet.
+
+Contract: a population of size 1 is **bit-identical** to a discrete client.
+Every scaled quantity uses IEEE-exact forms (``x * 1``, ``+= 1.0``), the
+population draws no extra random numbers unless gap jitter is enabled, and
+the weighted statistics path only activates when a weight differs from 1 —
+so the sha256 golden digests of the determinism matrix are reproduced
+unchanged with the population machinery in the loop.
+
+The consumer-side counterpart needs no separate class: consumers receive
+the aggregate messages and the weight-aware delivery path (prefetch credit
+in aggregate units, per-delivery processing scaled by multiplicity, logical
+ack accounting) makes one consumer process stand in for the fleet's
+consumption work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from ..simkit import BatchedUniform
+from .generator import MessageBlueprint, WorkloadGenerator
+
+__all__ = ["PopulationSpec", "ClientPopulation"]
+
+
+@dataclass(frozen=True)
+class PopulationSpec:
+    """How many clients one aggregate endpoint stands for, and how they pace.
+
+    ``gap_jitter_fraction`` desynchronises the population's aggregate sends:
+    each inter-send gap is drawn uniformly from
+    ``[gap * (1 - f), gap * (1 + f)]`` through a :class:`BatchedUniform`
+    stream.  The default of 0 draws nothing, which is what keeps size-1
+    populations bit-identical to discrete clients.
+    """
+
+    #: Number of statistically identical clients this population stands for.
+    size: int = 1
+    #: Fractional uniform jitter applied to rate-limited send gaps (0 = none).
+    gap_jitter_fraction: float = 0.0
+    #: Batch size for the jitter RNG's vectorised refills.
+    batch: int = 512
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"population size must be >= 1, got {self.size}")
+        if not 0.0 <= self.gap_jitter_fraction < 1.0:
+            raise ValueError(
+                f"gap_jitter_fraction must be in [0, 1), got "
+                f"{self.gap_jitter_fraction}")
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
+
+
+class ClientPopulation:
+    """K statistically identical clients driven by one workload generator.
+
+    Duck-types the :class:`WorkloadGenerator` surface the producer app uses
+    (``next_blueprint`` / ``send_interval`` / ``reply_payload_bytes``) and
+    adds a ``multiplicity`` the app stamps onto every message it creates.
+    """
+
+    def __init__(self, generator: WorkloadGenerator,
+                 spec: Optional[PopulationSpec] = None, *,
+                 jitter_rng: Union[np.random.Generator, BatchedUniform,
+                                   None] = None) -> None:
+        self.generator = generator
+        self.spec = spec or PopulationSpec()
+        self._jitter: Optional[BatchedUniform] = None
+        if self.spec.gap_jitter_fraction > 0.0:
+            if jitter_rng is None:
+                raise ValueError(
+                    "gap_jitter_fraction > 0 requires a jitter_rng")
+            if isinstance(jitter_rng, BatchedUniform):
+                self._jitter = jitter_rng
+            else:
+                self._jitter = BatchedUniform(jitter_rng, batch=self.spec.batch)
+
+    @property
+    def multiplicity(self) -> int:
+        """Weight carried by every message this population emits."""
+        return self.spec.size
+
+    # -- WorkloadGenerator surface ------------------------------------------
+    def next_blueprint(self) -> MessageBlueprint:
+        """The representative blueprint for the population's next send."""
+        return self.generator.next_blueprint()
+
+    def send_interval(self) -> float:
+        """Gap between aggregate sends (one representative client's pace).
+
+        The population sends at ONE client's cadence — each aggregate
+        message already stands for all K per-client messages of that step —
+        optionally jittered to desynchronise the fleet.
+        """
+        gap = self.generator.send_interval()
+        if gap > 0.0 and self._jitter is not None:
+            fraction = self.spec.gap_jitter_fraction
+            gap = float(self._jitter.uniform(gap * (1.0 - fraction),
+                                             gap * (1.0 + fraction)))
+        return gap
+
+    def reply_payload_bytes(self) -> float:
+        return self.generator.reply_payload_bytes()
+
+    @property
+    def messages_generated(self) -> int:
+        return self.generator.messages_generated
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<ClientPopulation size={self.spec.size} "
+                f"workload={self.generator.spec.name}>")

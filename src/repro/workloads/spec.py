@@ -47,11 +47,20 @@ class WorkloadSpec:
 
     def __post_init__(self) -> None:
         if self.payload_bytes <= 0:
-            raise ValueError("payload_bytes must be positive")
+            raise ValueError(
+                f"payload_bytes must be positive, got {self.payload_bytes}")
         if self.events_per_message < 1:
-            raise ValueError("events_per_message must be >= 1")
+            raise ValueError(f"events_per_message must be >= 1, "
+                             f"got {self.events_per_message}")
         if self.data_rate_bps <= 0:
-            raise ValueError("data_rate_bps must be positive")
+            raise ValueError(
+                f"data_rate_bps must be positive, got {self.data_rate_bps}")
+        if self.event_bytes < 0:
+            raise ValueError(
+                f"event_bytes must be non-negative, got {self.event_bytes}")
+        if self.reply_bytes < 0:
+            raise ValueError(
+                f"reply_bytes must be non-negative, got {self.reply_bytes}")
 
     @property
     def effective_event_bytes(self) -> float:
@@ -72,7 +81,8 @@ class WorkloadSpec:
     def producer_interval(self, num_producers: int) -> float:
         """Per-producer inter-message gap to sustain the nominal data rate."""
         if num_producers < 1:
-            raise ValueError("num_producers must be >= 1")
+            raise ValueError(
+                f"num_producers must be >= 1, got {num_producers}")
         aggregate = self.messages_per_second_at_rate()
         return num_producers / aggregate
 

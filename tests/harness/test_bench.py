@@ -195,12 +195,19 @@ def test_cli_bench_compare_flags_regressions(tmp_path, capsys):
         "schema": benchmod.BENCH_SCHEMA_VERSION,
         "kind": "repro-streamsim-bench",
         "repro_version": "0.0.0",
+        "git_sha": "abcdef0123456789abcdef0123456789abcdef01",
         "benches": {"simkit_zero_delay": {"median_s": 1e-12}},
     }))
     code = main(["bench", "--quick", "--bench", "simkit_zero_delay",
                  "--dir", str(tmp_path), "--no-save", "--compare"])
     assert code == 1
-    assert "REGRESSION" in capsys.readouterr().out
+    captured = capsys.readouterr()
+    assert "REGRESSION" in captured.out
+    # Each regression line names the snapshot's provenance (git sha,
+    # platform) so CI logs say what baseline was beaten.
+    assert ("regression: simkit_zero_delay (vs BENCH_0.json "
+            "@ git abcdef012345" in captured.err)
+    assert "unknown platform" in captured.err  # snapshot recorded none
 
 
 def test_cli_bench_regressed_run_is_not_saved(tmp_path, capsys):

@@ -76,6 +76,32 @@ def test_spec_validation():
         WorkloadSpec(name="bad", payload_bytes=1, data_rate_bps=0)
 
 
+def test_spec_validation_names_the_offending_field_and_value():
+    """Every numeric check reports the field name AND the bad value."""
+    cases = [
+        ({"payload_bytes": -4.0}, "payload_bytes must be positive, got -4.0"),
+        ({"payload_bytes": 1, "events_per_message": 0},
+         "events_per_message must be >= 1, got 0"),
+        ({"payload_bytes": 1, "data_rate_bps": -1e9},
+         "data_rate_bps must be positive, got -1"),
+        ({"payload_bytes": 1, "event_bytes": -2.0},
+         "event_bytes must be non-negative, got -2.0"),
+        ({"payload_bytes": 1, "reply_bytes": -8.0},
+         "reply_bytes must be non-negative, got -8.0"),
+    ]
+    for overrides, expected in cases:
+        with pytest.raises(ValueError) as excinfo:
+            WorkloadSpec(name="bad", **overrides)
+        assert expected in str(excinfo.value)
+
+
+def test_producer_interval_rejects_non_positive_counts_by_name():
+    with pytest.raises(ValueError, match="num_producers must be >= 1, got 0"):
+        DSTREAM.producer_interval(0)
+    with pytest.raises(ValueError, match="num_producers must be >= 1, got -3"):
+        DSTREAM.producer_interval(-3)
+
+
 def test_rate_derivations():
     # 16 KiB at 32 Gbps -> ~244K msgs/s aggregate.
     rate = DSTREAM.messages_per_second_at_rate()
