@@ -9,7 +9,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 COVERAGE_FLOOR ?= 85
 
 .PHONY: test bench-smoke bench bench-pytest check coverage example \
-	sensitivity-smoke session-smoke population-smoke
+	sensitivity-smoke session-smoke population-smoke cache-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -76,7 +76,35 @@ population-smoke:
 		--consumers 2 --producers 2 --messages 4 --population 1000
 	@rm -rf $(POPULATION_SMOKE_CACHE)
 
-check: test bench-smoke sensitivity-smoke session-smoke population-smoke
+# Fast end-to-end smoke for the cache lifecycle subsystem: populate a
+# sharded cache with a 2-point sweep, walk it through every `cache`
+# subcommand (stats -> gc -> compact -> snapshot -> rollback), prove the
+# rollback restored the shards byte-for-byte against the snapshot, then
+# re-run the sweep to prove every point is still served from the cache.
+CACHE_SMOKE_CACHE := .cache-smoke-cache
+cache-smoke:
+	@rm -rf $(CACHE_SMOKE_CACHE)
+	$(PYTHON) -m repro.cli sweep --workload Dstream --architectures DTS \
+		--consumers 1 2 --messages 4 --cache $(CACHE_SMOKE_CACHE)
+	$(PYTHON) -m repro.cli cache stats $(CACHE_SMOKE_CACHE)
+	$(PYTHON) -m repro.cli cache gc $(CACHE_SMOKE_CACHE) --purge-quarantine
+	$(PYTHON) -m repro.cli cache compact $(CACHE_SMOKE_CACHE)
+	$(PYTHON) -m repro.cli cache snapshot smoke $(CACHE_SMOKE_CACHE)
+	$(PYTHON) -m repro.cli cache rollback smoke $(CACHE_SMOKE_CACHE)
+	$(PYTHON) -c "import glob, os, sys; \
+		live = sorted(glob.glob('$(CACHE_SMOKE_CACHE)/??.json')); \
+		saved = sorted(glob.glob( \
+			'$(CACHE_SMOKE_CACHE)/.profiles/smoke/??.json')); \
+		read = lambda paths: {os.path.basename(p): open(p, 'rb').read() \
+			for p in paths}; \
+		sys.exit(0 if live and read(live) == read(saved) \
+			else 'cache-smoke: rollback is not byte-identical')"
+	$(PYTHON) -m repro.cli sweep --workload Dstream --architectures DTS \
+		--consumers 1 2 --messages 4 --cache $(CACHE_SMOKE_CACHE)
+	@rm -rf $(CACHE_SMOKE_CACHE)
+
+check: test bench-smoke sensitivity-smoke session-smoke population-smoke \
+	cache-smoke
 
 # Coverage gate over the harness (runner/cache/sweep/policy are the layers
 # fault-tolerance lives in).  Skips gracefully where pytest-cov is absent —

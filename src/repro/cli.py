@@ -12,6 +12,17 @@ Examples::
     repro-streamsim sensitivity --axis testbed.link_bandwidth_bps=1e9,10e9,100e9 \
         --axis testbed.dsn_count=1,3,5 --architectures DTS MSS --jobs 4
     repro-streamsim deployment
+    repro-streamsim cache stats sweep-cache
+    repro-streamsim cache gc sweep-cache --purge-quarantine
+    repro-streamsim cache snapshot pre-refactor sweep-cache
+
+The ``cache`` family administers a sharded result-cache directory
+(lifecycle management, no simulation): ``stats`` reports entries/bytes/
+shards per code fingerprint plus the stale fraction and quarantined
+files, ``gc`` evicts stale-fingerprint entries, ``compact`` rewrites
+shards in sorted-key order (byte-identical entries), and ``snapshot`` /
+``rollback`` / ``profiles`` manage named frozen copies of the shard set
+under ``<cache>/.profiles/``.
 
 Every experiment-running subcommand builds one execution
 :class:`~repro.harness.session.Session` from a shared option block —
@@ -32,6 +43,7 @@ prints an ASCII table; ``--csv PATH`` also writes the rows to a CSV file.
 from __future__ import annotations
 
 import argparse
+import os
 import statistics
 import sys
 from typing import Optional, Sequence
@@ -317,6 +329,64 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile-out", default=None, metavar="PATH", dest="profile_out",
         help="with --profile: also dump raw pstats data to PATH")
 
+    cache = sub.add_parser(
+        "cache",
+        help="administer a sharded result cache (stats / gc / compact / "
+             "snapshot / rollback / profiles)")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    def cache_path(command: argparse.ArgumentParser) -> None:
+        command.add_argument(
+            "path", nargs="?", default=None,
+            help="cache directory (default: $REPRO_CACHE)")
+
+    stats = cache_sub.add_parser(
+        "stats",
+        help="entries/bytes/shards per code fingerprint, stale fraction, "
+             "quarantined files, saved profiles")
+    cache_path(stats)
+    stats.add_argument("--csv", default=None,
+                       help="also write the per-fingerprint rows to a CSV "
+                            "file")
+
+    gc = cache_sub.add_parser(
+        "gc",
+        help="evict stale-fingerprint entries and delete emptied shards")
+    cache_path(gc)
+    gc.add_argument("--purge-quarantine", action="store_true",
+                    dest="purge_quarantine",
+                    help="also delete quarantined .corrupt files")
+    gc.add_argument("--dry-run", action="store_true", dest="dry_run",
+                    help="report what would be evicted without writing")
+
+    compact = cache_sub.add_parser(
+        "compact",
+        help="rewrite shards with sorted keys (surviving entries stay "
+             "byte-identical) and clear leftover .tmp files")
+    cache_path(compact)
+
+    snapshot = cache_sub.add_parser(
+        "snapshot",
+        help="freeze the current shard set as a named profile "
+             "(<cache>/.profiles/<name>/)")
+    snapshot.add_argument("name", help="profile name")
+    cache_path(snapshot)
+    snapshot.add_argument("--force", action="store_true",
+                          help="replace an existing profile of this name")
+
+    rollback = cache_sub.add_parser(
+        "rollback",
+        help="restore a named profile's shard set (byte-identical; shards "
+             "created since the snapshot are removed)")
+    rollback.add_argument("name", help="profile name")
+    cache_path(rollback)
+
+    profiles = cache_sub.add_parser(
+        "profiles", help="list the cache's saved profiles")
+    cache_path(profiles)
+    profiles.add_argument("--delete", default=None, metavar="NAME",
+                          help="delete this profile instead of listing")
+
     return parser
 
 
@@ -572,6 +642,64 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Cache lifecycle administration (stats/gc/compact/profiles)."""
+    from .harness import cache_admin
+
+    path = args.path or os.environ.get("REPRO_CACHE", "").strip() or None
+    if path is None:
+        print("error: no cache path given (pass PATH or set REPRO_CACHE)",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.cache_command == "stats":
+            stats = cache_admin.collect_stats(path)
+            if not os.path.isdir(path):
+                print(f"[cache] no cache directory at {path!r} yet "
+                      f"(run a sweep with --cache to create one)")
+            rows = stats.rows()
+            if rows:
+                _emit(rows, title=f"result cache {path}", csv_path=args.csv)
+            print(f"[cache] {stats.summary()}")
+            return 0
+        if args.cache_command == "gc":
+            report = cache_admin.gc_cache(
+                path, purge_quarantine=args.purge_quarantine,
+                dry_run=args.dry_run)
+            print(f"[cache gc] {report.summary()}")
+            return 0
+        if args.cache_command == "compact":
+            print(f"[cache compact] {cache_admin.compact_cache(path).summary()}")
+            return 0
+        if args.cache_command == "snapshot":
+            info = cache_admin.snapshot_cache(path, args.name,
+                                              force=args.force)
+            print(f"[cache snapshot] saved profile {info.name!r}: "
+                  f"{info.entries} entries in {info.shards} shard(s) "
+                  f"under {os.path.join(path, cache_admin.PROFILES_DIR)}")
+            return 0
+        if args.cache_command == "rollback":
+            print(f"[cache rollback] "
+                  f"{cache_admin.rollback_cache(path, args.name).summary()}")
+            return 0
+        if args.cache_command == "profiles":
+            if args.delete is not None:
+                cache_admin.delete_profile(path, args.delete)
+                print(f"[cache profiles] deleted profile {args.delete!r}")
+                return 0
+            profiles = cache_admin.list_profiles(path)
+            if not profiles:
+                print(f"[cache profiles] no profiles saved under {path!r}")
+                return 0
+            print(format_table([profile.as_row() for profile in profiles],
+                               title=f"profiles of {path}"))
+            return 0
+    except cache_admin.CacheAdminError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 1  # pragma: no cover - argparse enforces the subcommand set
+
+
 def _cmd_deployment(args: argparse.Namespace, session: Session) -> int:
     reports = deployment_comparison(args.architectures, session=session)
     print(format_table([r.as_row() for r in reports.values()],
@@ -605,6 +733,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # Benches time fixed workloads; they deliberately bypass the
         # execution-session machinery (no --jobs/--cache flags).
         return _cmd_bench(args)
+    if args.command == "cache":
+        # Admin commands operate on the cache directory itself; building
+        # an execution session (and its ResultCache, which evicts and
+        # quarantines on open) would defeat read-only inspection.
+        return _cmd_cache(args)
     handler = _COMMANDS.get(args.command)
     if handler is None:
         return 1

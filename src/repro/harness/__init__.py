@@ -23,7 +23,22 @@ from .bench import (
     profile_point,
     run_benches,
 )
-from .cache import ResultCache, code_fingerprint
+from .cache import ResultCache, code_fingerprint, shard_lock
+from .cache_admin import (
+    CacheAdminError,
+    CacheStats,
+    CompactReport,
+    GCReport,
+    ProfileInfo,
+    RollbackReport,
+    collect_stats,
+    compact_cache,
+    delete_profile,
+    gc_cache,
+    list_profiles,
+    rollback_cache,
+    snapshot_cache,
+)
 from .config import PATTERN_NAMES, ExperimentConfig
 from .coordinator import Coordinator
 from .experiment import Experiment, run_experiment
@@ -95,6 +110,20 @@ __all__ = [
     "ENV_PREFIX",
     "ResultCache",
     "code_fingerprint",
+    "shard_lock",
+    "CacheAdminError",
+    "CacheStats",
+    "CompactReport",
+    "GCReport",
+    "ProfileInfo",
+    "RollbackReport",
+    "collect_stats",
+    "gc_cache",
+    "compact_cache",
+    "snapshot_cache",
+    "rollback_cache",
+    "list_profiles",
+    "delete_profile",
     "BenchReport",
     "BenchResult",
     "bench_names",

@@ -34,6 +34,19 @@ that shard starts empty, instead of crashing the sweep that tried to use
 it.  A file whose declared format version is unknown still raises — that is
 a deliberate mismatch, not corruption.
 
+Concurrent writers: flushing is *read-merge-write* per shard under a
+per-shard lock file (``<shard>.json.lock``; ``flock`` where available,
+else an exclusive-create spin lock with stale-lock breaking).  Before the
+atomic ``os.replace`` the flusher folds any on-disk entries it has not
+seen — another process's completed points — into the outgoing payload, so
+N independent writer processes sharing one cache directory lose nothing
+(the wire model for distributed backends).  Keys this process deliberately
+evicted (stale fingerprints) stay evicted rather than resurrecting from
+disk; conflicting writes to the *same* key resolve last-writer-wins.
+Lock files are tiny and persist between runs (removing one under a live
+``flock`` holder would break mutual exclusion); ``cache gc``/``compact``
+leave them alone.
+
 Results are also persisted *incrementally* while a sweep runs (see
 ``run_scenarios``): :meth:`ResultCache.maybe_save` flushes to disk every
 ``autosave_interval`` stores, so killing a long parallel sweep midway
@@ -47,15 +60,33 @@ import json
 import os
 import time
 import warnings
-from typing import Optional
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+try:  # POSIX; Windows falls back to the exclusive-create spin lock
+    import fcntl
+except ImportError:  # pragma: no cover - platform-dependent
+    fcntl = None  # type: ignore[assignment]
 
 from .._version import __version__
 from .results import ExperimentResult
 from .runner import ScenarioPoint
 
-__all__ = ["ResultCache", "CACHE_VERSION", "code_fingerprint"]
+__all__ = ["ResultCache", "CACHE_VERSION", "code_fingerprint",
+           "shard_lock", "LOCK_SUFFIX"]
 
 CACHE_VERSION = 1
+
+#: Suffix of the per-shard lock files (``<shard>.json.lock``).
+LOCK_SUFFIX = ".lock"
+
+#: How long :func:`shard_lock` waits before giving up (spin-lock fallback).
+LOCK_TIMEOUT_S = 30.0
+
+#: Age past which a fallback lock file is presumed abandoned (holder died
+#: without cleanup) and broken.  ``flock`` locks release with the process
+#: and never need this.
+LOCK_STALE_S = 60.0
 
 _fingerprint: Optional[str] = None
 
@@ -101,6 +132,70 @@ def _shard_name(key: str) -> str:
     return key[:2]
 
 
+@contextmanager
+def shard_lock(shard_path: str, *,
+               timeout_s: float = LOCK_TIMEOUT_S) -> Iterator[None]:
+    """Cross-process mutual exclusion for one shard file.
+
+    Holds ``<shard_path>.lock`` for the duration of the ``with`` block.
+    Where ``fcntl`` exists the lock is an exclusive ``flock`` on that file
+    (released automatically if the holder dies); elsewhere it is an
+    exclusive-create spin lock that breaks locks older than
+    ``LOCK_STALE_S`` seconds and raises ``TimeoutError`` after
+    ``timeout_s``.  Under ``flock`` the lock file persists between runs —
+    deleting it under a live holder would hand a second process a fresh
+    inode and break the exclusion — while the fallback removes it on
+    release (its existence *is* the lock).
+    """
+    lock_path = f"{shard_path}{LOCK_SUFFIX}"
+    parent = os.path.dirname(lock_path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    if fcntl is not None:
+        handle = open(lock_path, "a")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
+        return
+    # Fallback: O_CREAT|O_EXCL succeeds for exactly one process at a time.
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            fd = os.open(lock_path,
+                         os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            break
+        except FileExistsError:
+            try:
+                age = time.time() - os.stat(lock_path).st_mtime
+            except OSError:  # released in the gap; retry immediately
+                continue
+            if age > LOCK_STALE_S:
+                try:  # the holder died mid-flush; break its lock
+                    os.remove(lock_path)
+                except OSError:
+                    pass
+                continue
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"could not acquire shard lock {lock_path!r} within "
+                    f"{timeout_s}s (remove it manually if its owner is "
+                    f"dead)") from None
+            time.sleep(0.01)
+    try:
+        yield
+    finally:
+        os.close(fd)
+        try:
+            os.remove(lock_path)
+        except OSError:  # pragma: no cover - best effort
+            pass
+
+
 class ResultCache:
     """A dict of experiment results keyed by scenario content hash,
     persisted as one JSON shard per two-hex-character key prefix."""
@@ -118,6 +213,9 @@ class ResultCache:
         self.autosave_min_s = autosave_min_s
         self._entries: dict[str, dict] = {}
         self._dirty_shards: set[str] = set()
+        #: Keys this process deliberately evicted (stale fingerprints).
+        #: The merge-on-flush must not resurrect them from disk.
+        self._evicted: set[str] = set()
         self._stores_since_save = 0
         self._last_autosave = 0.0
         #: Entries evicted because their code fingerprint went stale.
@@ -201,11 +299,25 @@ class ResultCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _evict_stale(self, key: str) -> None:
+        """Drop a stale-fingerprint entry: it never comes back (not even
+        via the merge-on-flush) and its shard is rewritten on save."""
+        del self._entries[key]
+        self.stale_evicted += 1
+        self._evicted.add(key)
+        self._dirty_shards.add(_shard_name(key))
+
     def __contains__(self, point: ScenarioPoint) -> bool:
         entry = self._entries.get(point.cache_key())
         if entry is None:
             return False
-        return self.allow_stale or entry.get("fingerprint") == code_fingerprint()
+        if self.allow_stale or entry.get("fingerprint") == code_fingerprint():
+            return True
+        # Same semantics as load(): a membership-only probe evicts the
+        # stale entry too, so `point in cache` and cache.load(point) agree
+        # and stale entries cannot outlive either kind of lookup.
+        self._evict_stale(point.cache_key())
+        return False
 
     def load(self, point: ScenarioPoint) -> Optional[ExperimentResult]:
         """The cached result for ``point``, or ``None`` on a miss.
@@ -219,9 +331,7 @@ class ResultCache:
         if entry is None:
             return None
         if not self.allow_stale and entry.get("fingerprint") != code_fingerprint():
-            del self._entries[key]
-            self.stale_evicted += 1
-            self._dirty_shards.add(_shard_name(key))
+            self._evict_stale(key)
             return None
         return ExperimentResult.from_json_dict(entry["result"])
 
@@ -232,6 +342,7 @@ class ResultCache:
             "fingerprint": code_fingerprint(),
             "result": result.to_json_dict(),
         }
+        self._evicted.discard(key)
         self._dirty_shards.add(_shard_name(key))
         self._stores_since_save += 1
 
@@ -252,6 +363,27 @@ class ResultCache:
         self._stores_since_save = 0
         self._last_autosave = time.monotonic()
 
+    def _merge_on_disk(self, shard_path: str, entries: dict) -> None:
+        """Fold a concurrent writer's entries into the outgoing payload.
+
+        Called under the shard lock, just before the atomic replace: any
+        key on disk that this process has neither seen nor deliberately
+        evicted was completed by another writer since our last read — it
+        joins both the payload and our in-memory view, so N independent
+        flushers lose zero points.  Keys present on both sides resolve to
+        this process's value (last writer wins per key).
+        """
+        if not os.path.exists(shard_path):
+            return
+        payload = self._load_payload(shard_path)
+        if payload is None:  # corrupt: quarantined, nothing to merge
+            return
+        for key, entry in payload.get("entries", {}).items():
+            if key in self._entries or key in self._evicted:
+                continue
+            entries[key] = entry
+            self._entries[key] = entry
+
     def _write_dirty_shards(self) -> None:
         by_shard: dict[str, dict[str, dict]] = {name: {}
                                                 for name in self._dirty_shards}
@@ -261,14 +393,16 @@ class ResultCache:
                 by_shard[shard][key] = entry
         for shard, entries in by_shard.items():
             shard_path = os.path.join(self.path, f"{shard}.json")
-            if not entries:
-                # Every entry in the shard was evicted.
-                if os.path.exists(shard_path):
-                    os.remove(shard_path)
-                continue
-            tmp_path = f"{shard_path}.tmp"
-            with open(tmp_path, "w", encoding="utf-8") as handle:
-                json.dump({"version": CACHE_VERSION, "entries": entries},
-                          handle)
-            os.replace(tmp_path, shard_path)
+            with shard_lock(shard_path):
+                self._merge_on_disk(shard_path, entries)
+                if not entries:
+                    # Every entry in the shard was evicted.
+                    if os.path.exists(shard_path):
+                        os.remove(shard_path)
+                    continue
+                tmp_path = f"{shard_path}.tmp"
+                with open(tmp_path, "w", encoding="utf-8") as handle:
+                    json.dump({"version": CACHE_VERSION, "entries": entries},
+                              handle)
+                os.replace(tmp_path, shard_path)
         self._dirty_shards.clear()

@@ -510,6 +510,11 @@ def _call_with_timeout(point: ScenarioPoint,
     Alarm-based enforcement needs the process's main thread and a platform
     with ``SIGALRM`` (pool workers and the serial backend both qualify on
     POSIX); anywhere else the attempt runs unbounded rather than crashing.
+
+    A pre-existing ``ITIMER_REAL`` (an outer timeout wrapping the whole
+    sweep, say) is suspended for the attempt and re-armed with its
+    remaining time on the way out, so nested timeouts compose instead of
+    the inner one silently disarming the outer.
     """
     if (timeout_s is None or not hasattr(signal, "SIGALRM")
             or threading.current_thread() is not threading.main_thread()):
@@ -526,14 +531,25 @@ def _call_with_timeout(point: ScenarioPoint,
                 f"scenario point {point.label!r} exceeded {timeout_s}s")
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
-    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    outer_delay, outer_interval = signal.setitimer(signal.ITIMER_REAL,
+                                                   timeout_s)
+    started = time.monotonic()
     try:
         result = execute_point(point)
         running = False
         return result
     finally:
+        # Quiesce our timer before swapping the handler back, then re-arm
+        # any pre-existing ITIMER_REAL with its *remaining* time (the old
+        # code zeroed it, silently disarming an outer timeout).  An outer
+        # timer that expired while we ran is re-armed with a near-zero
+        # delay so its handler still fires, just late.
         signal.setitimer(signal.ITIMER_REAL, 0)
         signal.signal(signal.SIGALRM, previous)
+        if outer_delay:
+            remaining = outer_delay - (time.monotonic() - started)
+            signal.setitimer(signal.ITIMER_REAL, max(remaining, 1e-6),
+                             outer_interval)
 
 
 def _attempt_point(point: ScenarioPoint,

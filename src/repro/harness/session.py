@@ -307,6 +307,18 @@ class Session:
         if self.cache is not None:
             self.cache.save()
 
+    def cache_stats(self):
+        """Lifecycle statistics for this session's result cache
+        (:class:`~repro.harness.cache_admin.CacheStats`), or ``None`` when
+        the session runs uncached.  Dirty shards are flushed first so the
+        census covers everything this session has stored."""
+        if self.cache is None:
+            return None
+        from .cache_admin import collect_stats
+
+        self.cache.save()
+        return collect_stats(self.cache.path)
+
     def close(self) -> None:
         """Flush the cache and mark the session closed (idempotent)."""
         self.flush()

@@ -5,6 +5,7 @@ from __future__ import annotations
 import glob
 import json
 import os
+import shutil
 
 import pytest
 
@@ -110,8 +111,7 @@ def test_interrupted_migration_is_recovered_on_next_open(tmp_path):
     entries: dict = {}
     for shard in shard_files(path):
         entries.update(json.load(open(shard))["entries"])
-        os.remove(shard)
-    os.rmdir(path)
+    shutil.rmtree(path)  # shards plus their persistent .lock files
     # Simulate the crash window: backup written, no shards yet.
     with open(f"{path}.migrating", "w") as handle:
         json.dump({"version": 1, "entries": entries}, handle)

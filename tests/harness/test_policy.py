@@ -252,3 +252,85 @@ def test_backends_agree_on_policy_outcomes(monkeypatch):
     assert ([result_payload(o) for o in serial]
             == [result_payload(o) for o in pooled])
     assert [o.point.config.seed for o in serial] == [1, 1]
+
+
+# ---------------------------------------------------------------------------
+# Nested timers: the per-point alarm must not disarm an outer ITIMER_REAL
+# ---------------------------------------------------------------------------
+
+def _with_outer_itimer(outer_s: float, body):
+    """Run ``body()`` with a caller-level SIGALRM handler + ITIMER_REAL
+    armed, returning (body result, fired timestamps, remaining delay)."""
+    import signal
+
+    fired = []
+
+    def outer_handler(signum, frame):
+        fired.append(time.monotonic())
+
+    previous_handler = signal.signal(signal.SIGALRM, outer_handler)
+    signal.setitimer(signal.ITIMER_REAL, outer_s)
+    try:
+        result = body()
+        remaining, _ = signal.getitimer(signal.ITIMER_REAL)
+        restored = signal.getsignal(signal.SIGALRM)
+        return result, fired, remaining, restored, outer_handler
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous_handler)
+
+
+def test_point_timeout_rearms_outer_itimer_with_remaining_time():
+    """An outer watchdog timer survives a point's inner timeout: on the
+    way out the inner alarm re-arms the outer timer minus elapsed time
+    (the old code zeroed it, silently disarming the watchdog)."""
+    point = ScenarioPoint(config=tiny_config())
+
+    def body():
+        return runner_module._call_with_timeout(point, 30.0)
+
+    result, fired, remaining, restored, handler = _with_outer_itimer(
+        60.0, body)
+    assert result is not None
+    assert not fired  # the outer timer did not fire early...
+    assert 0 < remaining < 60.0  # ...and is still armed, minus elapsed
+    assert restored is handler  # the outer handler came back too
+
+
+def test_outer_itimer_expired_during_point_still_fires(monkeypatch):
+    """If the outer deadline passes while the point runs, the outer
+    handler fires (late) instead of never."""
+    monkeypatch.setattr(runner_module, "execute_point",
+                        lambda point: time.sleep(0.15) or "done")
+    point = ScenarioPoint(config=tiny_config())
+
+    def body():
+        result = runner_module._call_with_timeout(point, 30.0)
+        # The expired outer timer was re-armed with a near-zero delay;
+        # give the signal a beat to be delivered.
+        deadline = time.monotonic() + 2.0
+        while time.monotonic() < deadline:
+            time.sleep(0.01)
+            if _outer_fired:
+                break
+        return result
+
+    _outer_fired = []
+
+    def outer_body():
+        nonlocal _outer_fired
+        import signal
+
+        def outer_handler(signum, frame):
+            _outer_fired.append(True)
+
+        previous_handler = signal.signal(signal.SIGALRM, outer_handler)
+        signal.setitimer(signal.ITIMER_REAL, 0.05)  # expires mid-point
+        try:
+            return body()
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous_handler)
+
+    assert outer_body() == "done"
+    assert _outer_fired  # fired late, not lost
