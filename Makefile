@@ -8,11 +8,18 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 # Line-coverage floor enforced by `make coverage` over the execution engine.
 COVERAGE_FLOOR ?= 85
 
-.PHONY: test bench-smoke bench bench-pytest check coverage example \
+.PHONY: test lint bench-smoke bench bench-pytest check coverage example \
 	sensitivity-smoke session-smoke population-smoke cache-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Static determinism/concurrency analysis (repro.analysis): first prove the
+# rules themselves fire (fixture corpus self-test), then lint src/repro
+# against the committed baseline.  Exit codes: 0 clean, 1 findings, 2 usage.
+lint:
+	$(PYTHON) -m repro.cli lint --self-test
+	$(PYTHON) -m repro.cli lint
 
 # Collection guard (micro benches through pytest, with or without the
 # pytest-benchmark plugin) plus a fast pass of the dependency-free bench
@@ -103,8 +110,8 @@ cache-smoke:
 		--consumers 1 2 --messages 4 --cache $(CACHE_SMOKE_CACHE)
 	@rm -rf $(CACHE_SMOKE_CACHE)
 
-check: test bench-smoke sensitivity-smoke session-smoke population-smoke \
-	cache-smoke
+check: lint test bench-smoke sensitivity-smoke session-smoke \
+	population-smoke cache-smoke
 
 # Coverage gate over the harness (runner/cache/sweep/policy are the layers
 # fault-tolerance lives in).  Skips gracefully where pytest-cov is absent —

@@ -86,7 +86,10 @@ class Broker:
 
     # -- memory accounting --------------------------------------------------
     def memory_used(self, *, control: bool = False) -> float:
-        return sum(q.ready_bytes for q in self.queues.values()
+        # Queue insertion order is scenario-config order (deterministic),
+        # and re-sorting here would change float summation order and break
+        # byte-identity with the committed goldens.
+        return sum(q.ready_bytes for q in self.queues.values()  # repro: allow[D004]
                    if q.is_control == control)
 
     def memory_available(self, *, control: bool = False) -> float:

@@ -1,0 +1,64 @@
+"""repro.analysis — static determinism & concurrency linting.
+
+AST-based rules that encode this repo's own invariants (derived RNG
+seeding, no wall-clock in result paths, sorted directory listings,
+pickle-safe wire classes, shard-lock write discipline, backend policy
+routing) as a checkable contract: ``repro-streamsim lint`` / ``make lint``.
+
+Public surface: the engine (:class:`Rule`, :class:`Finding`,
+:func:`analyze_paths`, :func:`all_rules`), the baseline layer
+(:class:`Baseline`), and the CLI glue (:func:`configure_lint_parser`,
+:func:`run_lint`).
+"""
+
+from .baseline import Baseline, BaselineEntry, BASELINE_VERSION
+from .cli import (
+    DEFAULT_BASELINE,
+    DEFAULT_FIXTURES,
+    check_fixture_corpus,
+    configure_lint_parser,
+    run_lint,
+    run_self_test,
+)
+from .engine import (
+    AnalysisReport,
+    Finding,
+    LintError,
+    PRAGMA_RE,
+    Rule,
+    SourceFile,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+    call_name,
+    get_rule,
+    iter_python_files,
+    register_rule,
+    rule_codes,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "BaselineEntry",
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE",
+    "DEFAULT_FIXTURES",
+    "Finding",
+    "LintError",
+    "PRAGMA_RE",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "analyze_paths",
+    "analyze_source",
+    "call_name",
+    "check_fixture_corpus",
+    "configure_lint_parser",
+    "get_rule",
+    "iter_python_files",
+    "register_rule",
+    "rule_codes",
+    "run_lint",
+    "run_self_test",
+]

@@ -1,0 +1,342 @@
+"""The ``repro lint`` rule engine: AST passes over the repro source tree.
+
+Every guarantee this reproduction makes — sha256 golden digests,
+parallel-vs-serial byte-identity, K=1 population bit-identity,
+concurrent-writer-safe cache flushes — is otherwise enforced only
+*dynamically*: a violation surfaces when a golden breaks, often long after
+the hazard landed.  This package encodes those contracts as static
+AST-level rules so a hazard (an unseeded RNG, a wall-clock read feeding a
+result, a shard write outside its lock) fails ``make lint`` in the PR that
+introduces it.
+
+Architecture:
+
+* :class:`Rule` — one named invariant (``D001``, ``L002``, ...) with a
+  ``check`` callable run against each parsed :class:`SourceFile`.
+* A module-level registry (:func:`register_rule` / :func:`all_rules`); the
+  rule modules (``rules_determinism``, ``rules_wire``,
+  ``rules_concurrency``) register themselves on import.
+* :func:`analyze_paths` — parse every ``.py`` file under the given paths
+  (in sorted order, naturally), run the selected rules, and apply
+  ``# repro: allow[RULE]`` line pragmas.  Baseline suppression is layered
+  on top by :mod:`repro.analysis.baseline`.
+
+Suppression pragma: a trailing comment ``# repro: allow[D003]`` (or
+``allow[D003,L001]``) suppresses findings of exactly those rules on
+exactly that line — the narrowest possible escape hatch, reviewable in
+diffs.  Findings that survive pragmas can still be matched by a committed
+baseline file (see :mod:`repro.analysis.baseline`), which is how the
+handful of historical, legitimate hits are carried without littering the
+source.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "SourceFile",
+    "LintError",
+    "register_rule",
+    "rule_codes",
+    "all_rules",
+    "get_rule",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "call_name",
+    "PRAGMA_RE",
+]
+
+
+class LintError(RuntimeError):
+    """The analysis cannot proceed (bad path, unparseable source, unknown
+    rule name).  The CLI turns this into a clean diagnostic and exit 2."""
+
+
+#: ``# repro: allow[D001]`` / ``# repro: allow[D001,L002]`` line pragma.
+PRAGMA_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s-]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    #: The stripped source line the finding sits on — what the baseline
+    #: hashes, so an entry keeps matching after the line moves.
+    context: str = ""
+
+    @property
+    def context_hash(self) -> str:
+        """Stable hash of (rule, context text) — the baseline match key.
+
+        Deliberately excludes the line number: a finding that merely moved
+        (code inserted above it) still matches its baseline entry.
+        """
+        key = f"{self.rule}\0{self.context}".encode()
+        return hashlib.sha256(key).hexdigest()[:16]
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def as_json_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "file": self.path,
+            "line": self.line,
+            "message": self.message,
+            "context": self.context,
+            "context_hash": self.context_hash,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One static invariant, checkable against a parsed source file.
+
+    ``check`` receives a :class:`SourceFile` and yields ``(lineno,
+    message)`` pairs; the engine turns them into :class:`Finding` objects
+    (attaching path and context) and applies pragma suppression.
+    """
+
+    code: str          # e.g. "D001" — what pragmas and --rule refer to
+    name: str          # short slug, e.g. "no-stdlib-random"
+    category: str      # determinism | wire | locking | backend
+    rationale: str     # one line: why the invariant exists
+    check: Callable[["SourceFile"], Iterable[tuple[int, str]]]
+
+    def describe(self) -> dict:
+        return {"code": self.code, "name": self.name,
+                "category": self.category, "rationale": self.rationale}
+
+
+class SourceFile:
+    """One parsed module plus the lookup structures rules need."""
+
+    def __init__(self, path: str, text: str, *, rel_path: str) -> None:
+        self.path = path
+        #: Path as reported in findings (repo-relative, "/" separators).
+        self.rel_path = rel_path
+        self.text = text
+        self.lines = text.splitlines()
+        try:
+            self.tree = ast.parse(text, filename=path)
+        except SyntaxError as exc:
+            raise LintError(f"cannot parse {path}: {exc}") from exc
+        self._parents: dict[int, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[id(child)] = parent
+
+    # -- navigation -----------------------------------------------------------
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(id(node))
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        """Walk from ``node``'s parent up to the module node."""
+        current = self.parent(node)
+        while current is not None:
+            yield current
+            current = self.parent(current)
+
+    def enclosing_function(self, node: ast.AST
+                           ) -> Optional[ast.FunctionDef]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def inside_call_named(self, node: ast.AST, names: frozenset[str]) -> bool:
+        """True when ``node`` sits inside a call to one of ``names``
+        (e.g. a listing wrapped in ``sorted(...)``)."""
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.Call):
+                target = call_name(ancestor)
+                if target.split(".")[-1] in names:
+                    return True
+        return False
+
+    def source_line(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    # -- pragma handling -----------------------------------------------------------
+    def pragma_codes(self, lineno: int) -> frozenset[str]:
+        """Rule codes allowed by a ``# repro: allow[...]`` pragma on the
+        given line (empty when the line carries none)."""
+        if not 1 <= lineno <= len(self.lines):
+            return frozenset()
+        match = PRAGMA_RE.search(self.lines[lineno - 1])
+        if not match:
+            return frozenset()
+        return frozenset(code.strip() for code in match.group(1).split(",")
+                         if code.strip())
+
+
+def call_name(node: ast.AST) -> str:
+    """Dotted name of a call (or attribute chain), '' when not static.
+
+    ``np.random.default_rng(0)`` -> ``"np.random.default_rng"``;
+    ``foo()()`` and subscripted targets resolve to ``""``.
+    """
+    current = node.func if isinstance(node, ast.Call) else node
+    parts: list[str] = []
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+    else:
+        return ""
+    return ".".join(reversed(parts))
+
+
+# ---------------------------------------------------------------------------
+# Rule registry
+# ---------------------------------------------------------------------------
+
+_RULES: dict[str, Rule] = {}
+
+
+def register_rule(rule: Rule) -> Rule:
+    """Add a rule to the registry (codes are unique)."""
+    if rule.code in _RULES:
+        raise ValueError(f"rule {rule.code!r} is already registered")
+    _RULES[rule.code] = rule
+    return rule
+
+
+def rule_codes() -> tuple[str, ...]:
+    _load_rule_modules()
+    return tuple(sorted(_RULES))
+
+
+def all_rules() -> tuple[Rule, ...]:
+    _load_rule_modules()
+    return tuple(_RULES[code] for code in sorted(_RULES))
+
+
+def get_rule(code: str) -> Rule:
+    _load_rule_modules()
+    try:
+        return _RULES[code]
+    except KeyError:
+        raise LintError(f"unknown rule {code!r}; known rules: "
+                        f"{', '.join(sorted(_RULES))}") from None
+
+
+def _load_rule_modules() -> None:
+    """Import the rule modules exactly once (they register on import)."""
+    from . import rules_concurrency  # noqa: F401
+    from . import rules_determinism  # noqa: F401
+    from . import rules_wire  # noqa: F401
+
+
+# ---------------------------------------------------------------------------
+# Running the analysis
+# ---------------------------------------------------------------------------
+
+def iter_python_files(paths: Sequence[str]) -> list[str]:
+    """Every ``.py`` file under the given files/directories, sorted.
+
+    The sorted walk is load-bearing: findings (and therefore baselines and
+    CI logs) must not depend on filesystem enumeration order — the same
+    invariant rule D005 enforces on the codebase itself.
+    """
+    files: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                files.append(path)
+            continue
+        if not os.path.isdir(path):
+            raise LintError(f"no such file or directory: {path!r}")
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d != "__pycache__")
+            files.extend(os.path.join(dirpath, name)
+                         for name in sorted(filenames)
+                         if name.endswith(".py"))
+    return sorted(dict.fromkeys(files))
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one lint pass produced, pre-baseline."""
+
+    findings: list[Finding] = field(default_factory=list)
+    checked_files: int = 0
+    pragma_suppressed: int = 0
+
+
+def _resolve_rules(rules: Optional[Sequence] = None) -> list[Rule]:
+    if rules is None:
+        return list(all_rules())
+    resolved = []
+    for rule in rules:
+        resolved.append(rule if isinstance(rule, Rule) else get_rule(rule))
+    return resolved
+
+
+def analyze_source(source: SourceFile,
+                   rules: Optional[Sequence] = None,
+                   report: Optional[AnalysisReport] = None
+                   ) -> list[Finding]:
+    """Run the selected rules over one parsed file, applying pragmas."""
+    findings: list[Finding] = []
+    for rule in _resolve_rules(rules):
+        for lineno, message in rule.check(source):
+            if rule.code in source.pragma_codes(lineno):
+                if report is not None:
+                    report.pragma_suppressed += 1
+                continue
+            findings.append(Finding(
+                rule=rule.code, path=source.rel_path, line=lineno,
+                message=message, context=source.source_line(lineno)))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    if report is not None:
+        report.findings.extend(findings)
+        report.checked_files += 1
+    return findings
+
+
+def analyze_paths(paths: Sequence[str],
+                  rules: Optional[Sequence] = None, *,
+                  root: Optional[str] = None) -> AnalysisReport:
+    """Lint every ``.py`` file under ``paths`` with the selected rules.
+
+    ``root`` anchors the relative paths findings report (and baselines
+    store); it defaults to the current working directory.  Findings come
+    back sorted by (file, line, rule) — byte-stable across machines.
+    """
+    resolved = _resolve_rules(rules)
+    root = os.path.abspath(root) if root else os.getcwd()
+    report = AnalysisReport()
+    for file_path in iter_python_files(paths):
+        try:
+            with open(file_path, encoding="utf-8") as handle:
+                text = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            raise LintError(f"cannot read {file_path!r}: {exc}") from exc
+        rel = os.path.relpath(os.path.abspath(file_path), root)
+        source = SourceFile(file_path, text,
+                            rel_path=rel.replace(os.sep, "/"))
+        analyze_source(source, resolved, report)
+    report.findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    return report

@@ -15,6 +15,8 @@ Examples::
     repro-streamsim cache stats sweep-cache
     repro-streamsim cache gc sweep-cache --purge-quarantine
     repro-streamsim cache snapshot pre-refactor sweep-cache
+    repro-streamsim lint --list-rules
+    repro-streamsim lint --rule D003 --json
 
 The ``cache`` family administers a sharded result-cache directory
 (lifecycle management, no simulation): ``stats`` reports entries/bytes/
@@ -48,6 +50,7 @@ import statistics
 import sys
 from typing import Optional, Sequence
 
+from .analysis import configure_lint_parser, run_lint
 from .core import (
     compare_architectures,
     deployment_comparison,
@@ -386,6 +389,8 @@ def build_parser() -> argparse.ArgumentParser:
     cache_path(profiles)
     profiles.add_argument("--delete", default=None, metavar="NAME",
                           help="delete this profile instead of listing")
+
+    configure_lint_parser(sub)
 
     return parser
 
@@ -738,6 +743,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         # an execution session (and its ResultCache, which evicts and
         # quarantines on open) would defeat read-only inspection.
         return _cmd_cache(args)
+    if args.command == "lint":
+        # Static analysis reads source files, never runs simulations —
+        # no session, no cache, and its own exit-code contract (0/1/2).
+        return run_lint(args)
     handler = _COMMANDS.get(args.command)
     if handler is None:
         return 1

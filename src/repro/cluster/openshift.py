@@ -212,5 +212,6 @@ class OpenShiftCluster:
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        total = sum(len(p) for p in self.namespaces.values())
+        # Integer counts are order-insensitive; cosmetic repr only.
+        total = sum(len(p) for p in self.namespaces.values())  # repro: allow[D004]
         return f"<OpenShiftCluster {self.name} workers={len(self.worker_nodes)} pods={total}>"

@@ -419,7 +419,7 @@ def list_snapshots(directory: str | Path) -> list[tuple[int, Path]]:
     if not directory.is_dir():
         return []
     snapshots = []
-    for path in directory.iterdir():
+    for path in sorted(directory.iterdir()):
         match = _SNAPSHOT_RE.match(path.name)
         if match:
             snapshots.append((int(match.group(1)), path))

@@ -171,7 +171,10 @@ def shard_lock(shard_path: str, *,
             break
         except FileExistsError:
             try:
-                age = time.time() - os.stat(lock_path).st_mtime
+                # Lock-staleness detection is inherently wall-clock: it
+                # measures how long a *dead* flusher has held the lock,
+                # never anything result-bearing.
+                age = time.time() - os.stat(lock_path).st_mtime  # repro: allow[D003]
             except OSError:  # released in the gap; retry immediately
                 continue
             if age > LOCK_STALE_S:

@@ -199,7 +199,9 @@ def collect_stats(path: str) -> CacheStats:
         stats.shards += 1
         stats.total_bytes += os.path.getsize(shard_path)
         shard = os.path.basename(shard_path)
-        for entry in payload.get("entries", {}).values():
+        # Stats are integer counters and set unions — commutative, so the
+        # JSON dict's insertion order cannot leak into the output.
+        for entry in payload.get("entries", {}).values():  # repro: allow[D004]
             fingerprint = entry.get("fingerprint") or "<none>"
             per = stats.fingerprints.get(fingerprint)
             if per is None:

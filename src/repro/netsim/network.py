@@ -185,5 +185,6 @@ class Network:
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        nlinks = sum(len(t) for t in self._adjacency.values())
+        # Integer counts are order-insensitive; cosmetic repr only.
+        nlinks = sum(len(t) for t in self._adjacency.values())  # repro: allow[D004]
         return f"<Network {self.name} nodes={len(self.nodes)} links={nlinks}>"

@@ -17,6 +17,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..simkit.rand import RandomStreams
 from .spec import WorkloadSpec
 
 __all__ = ["MessageBlueprint", "WorkloadGenerator"]
@@ -42,14 +43,30 @@ class WorkloadGenerator:
 
     def __init__(self, spec: WorkloadSpec, *,
                  rng: Optional[np.random.Generator] = None,
+                 streams: Optional[RandomStreams] = None,
                  vary_events: bool = False,
                  rate_limited: bool = False,
                  num_producers: int = 1) -> None:
         self.spec = spec
-        self.rng = rng or np.random.default_rng(0)
+        if rng is not None and streams is not None:
+            raise ValueError(
+                "pass either rng= or streams=, not both: an explicit rng "
+                "already carries its derived seed")
+        if streams is not None:
+            rng = streams.stream("workload", spec.name)
         #: Whether to vary the events/message count (Deleria's natural mode);
         #: the paper's evaluation fixes it for consistency, so default False.
         self.vary_events = vary_events and spec.variable_events
+        if self.vary_events and rng is None:
+            # The old `rng or default_rng(0)` fallback silently collapsed
+            # every varying generator onto one hard-coded stream — producers
+            # drew identical batch sizes and parallel placement reshuffled
+            # draws between them.  Varying generators must say where their
+            # randomness comes from.
+            raise ValueError(
+                "vary_events=True needs a seeded stream: pass "
+                "rng=streams.stream('workload', rank) or streams=RandomStreams")
+        self.rng = rng
         self.rate_limited = rate_limited
         self.num_producers = max(1, int(num_producers))
         self._sequence = 0

@@ -1,0 +1,20 @@
+"""Fixture: backends routing through the indexed policy worker (or
+delegating to another backend), and the protocol stub, are fine."""
+
+
+class ExecutionBackend:
+    def run(self, points, progress=None, *, policy=None, on_result=None):
+        ...
+
+
+class IndexedBackend:
+    def run(self, points, progress=None, *, policy=None, on_result=None):
+        return [_execute_indexed((i, point, policy))
+                for i, point in enumerate(points)]
+
+
+class DelegatingBackend:
+    def run(self, points, progress=None, *, policy=None, on_result=None):
+        inner = IndexedBackend()
+        return inner.run(points, progress, policy=policy,
+                         on_result=on_result)

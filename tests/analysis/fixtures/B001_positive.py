@@ -1,0 +1,8 @@
+"""Fixture: a backend mapping execute_point raw trips B001."""
+from multiprocessing import Pool
+
+
+class RawMapBackend:
+    def run(self, points, progress=None, *, policy=None, on_result=None):
+        with Pool() as pool:
+            return list(pool.map(execute_point, points))

@@ -1,0 +1,9 @@
+"""Fixture: numpy generators seeded through derive_seed are fine."""
+import numpy as np
+
+from repro.simkit.rand import derive_seed
+
+
+def jitter(root_seed, limit):
+    rng = np.random.default_rng(derive_seed(root_seed, "jitter"))
+    return rng.random() * limit

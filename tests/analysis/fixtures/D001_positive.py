@@ -1,0 +1,6 @@
+"""Fixture: stdlib random import and global-state draws must trip D001."""
+import random
+
+
+def jitter(limit):
+    return random.random() * limit + random.randint(0, 3)

@@ -1,0 +1,12 @@
+"""Fixture: derived / caller-supplied seeds are fine."""
+import numpy as np
+
+from repro.simkit.rand import derive_seed
+
+
+def derived_rng(root_seed):
+    return np.random.default_rng(derive_seed(root_seed, "workload"))
+
+
+def forwarded_rng(seed):
+    return np.random.default_rng(seed)

@@ -1,0 +1,10 @@
+"""Fixture: unseeded and constant-seeded default_rng must trip D002."""
+import numpy as np
+
+
+def entropy_rng():
+    return np.random.default_rng()
+
+
+def collapsed_rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,10 @@
+"""Fixture: simulated clocks and monotonic phase timers are fine."""
+import time
+
+
+def sim_elapsed(env, started_at):
+    return env.now - started_at
+
+
+def phase_timer():
+    return time.perf_counter()

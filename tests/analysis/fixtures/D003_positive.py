@@ -1,0 +1,9 @@
+"""Fixture: wall-clock reads in result-bearing code must trip D003."""
+import time
+from datetime import datetime
+
+
+def stamp_result(result):
+    result["finished_at"] = time.time()
+    result["label"] = datetime.now().isoformat()
+    return result

@@ -1,0 +1,19 @@
+"""Fixture: sorted iteration and order-insensitive consumers are fine."""
+
+
+def accumulate(latencies):
+    total = 0.0
+    for key in sorted(latencies):
+        total += latencies[key]
+    return total
+
+
+def count(groups):
+    return len(groups.values())
+
+
+def collect(ids):
+    names = []
+    for item in {1, 2, 3}:
+        names.append(item)
+    return names

@@ -1,0 +1,12 @@
+"""Fixture: unordered iteration into accumulation/reduction trips D004."""
+
+
+def accumulate(weights):
+    total = 0.0
+    for w in {0.25, 0.5, 1.0}:
+        total += w
+    return total
+
+
+def reduce_values(latencies):
+    return sum(v for v in latencies.values())

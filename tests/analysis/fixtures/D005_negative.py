@@ -1,0 +1,12 @@
+"""Fixture: sorted listings (and order-insensitive counts) are fine."""
+import os
+from pathlib import Path
+
+
+def census(path):
+    return [name for name in sorted(os.listdir(path))
+            if name.endswith(".json")]
+
+
+def shard_count(path):
+    return len(list(Path(path).glob("*.json")))

@@ -1,0 +1,10 @@
+"""Fixture: raw directory enumeration driving iteration trips D005."""
+import os
+
+
+def census(path):
+    shards = []
+    for name in os.listdir(path):
+        if name.endswith(".json"):
+            shards.append(name)
+    return shards

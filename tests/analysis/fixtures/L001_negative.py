@@ -1,0 +1,16 @@
+"""Fixture: the read-merge-write sequence under shard_lock is fine."""
+import os
+
+from repro.harness.cache import shard_lock
+
+
+def flush(shard_path, tmp_path, payload):
+    with shard_lock(shard_path):
+        with open(tmp_path, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp_path, shard_path)
+
+
+def read(shard_path):
+    with open(shard_path) as handle:
+        return handle.read()

@@ -1,0 +1,12 @@
+"""Fixture: shard writes outside `with shard_lock` trip L001."""
+import os
+
+
+def flush(shard_path, tmp_path, payload):
+    with open(tmp_path, "w") as handle:
+        handle.write(payload)
+    os.replace(tmp_path, shard_path)
+
+
+def drop(shard_path):
+    os.remove(shard_path)

@@ -1,0 +1,12 @@
+"""Fixture: _evicted mutations under the guard are fine."""
+from repro.harness.cache import shard_lock
+
+
+class Cache:
+    def forget(self, key, shard):
+        self._evicted.add(key)
+        self._dirty_shards.add(shard)
+
+    def forget_locked(self, key, shard_path):
+        with shard_lock(shard_path):
+            self._evicted.add(key)

@@ -1,0 +1,9 @@
+"""Fixture: mutating _evicted outside the flush guard trips L002."""
+
+
+class Cache:
+    def forget(self, key):
+        self._evicted.add(key)
+
+    def reset(self):
+        self._evicted = set()

@@ -1,0 +1,19 @@
+"""Fixture: wire classes holding plain data (and module-level
+functions by reference) are fine."""
+
+
+def _default_on_result(outcome):
+    return outcome
+
+
+class Session:
+    def __init__(self, jobs):
+        self.jobs = jobs
+        self.on_result = _default_on_result
+        self.log_path = "session.log"
+
+
+class Helper:
+    def __init__(self):
+        # Not a wire class: lambdas here are somebody else's problem.
+        self.fn = lambda x: x

@@ -1,0 +1,7 @@
+"""Fixture: a wire class storing a lambda/open handle trips P001."""
+
+
+class Session:
+    def __init__(self, path):
+        self.on_result = lambda outcome: outcome
+        self.log = open(path, "w")

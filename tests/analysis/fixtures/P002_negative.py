@@ -1,0 +1,20 @@
+"""Fixture: hot-path classes keeping slots (either spelling) are fine."""
+# lint-fixture: rel_path=repro/simkit/core.py
+from dataclasses import dataclass
+
+
+class Event:
+    __slots__ = ("env", "callbacks")
+
+    def __init__(self, env):
+        self.env = env
+        self.callbacks = []
+
+
+@dataclass(slots=True)
+class Timeout:
+    delay: float
+
+
+class Scratch:
+    """Not on the hot-path list; no slots required."""

@@ -1,0 +1,8 @@
+"""Fixture: a hot-path class without __slots__ trips P002."""
+# lint-fixture: rel_path=repro/simkit/core.py
+
+
+class Event:
+    def __init__(self, env):
+        self.env = env
+        self.callbacks = []

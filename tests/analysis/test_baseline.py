@@ -1,0 +1,119 @@
+"""Baseline machinery: round-trips, moved-line matching, count-awareness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, BaselineEntry, Finding, LintError
+
+
+def finding(rule="D003", path="src/repro/harness/bench.py", line=408,
+            context="created_at=datetime.now()", message="wall clock"):
+    return Finding(rule=rule, path=path, line=line, message=message,
+                   context=context)
+
+
+# ---------------------------------------------------------------------------
+# Round-trip
+# ---------------------------------------------------------------------------
+
+def test_save_load_round_trip(tmp_path):
+    path = str(tmp_path / "baseline.json")
+    original = Baseline.from_findings([finding(), finding(rule="D005",
+                                                          line=7)])
+    original.save(path)
+    loaded = Baseline.load(path)
+    assert sorted(e.key for e in loaded.entries) \
+        == sorted(e.key for e in original.entries)
+    # Human-facing fields survive too.
+    assert {e.line for e in loaded.entries} == {408, 7}
+
+
+def test_saved_file_is_stable_json(tmp_path):
+    """Byte-identical rewrites: sorted entries, sorted keys, newline."""
+    path_a = tmp_path / "a.json"
+    path_b = tmp_path / "b.json"
+    entries = [finding(rule="D005", line=7), finding()]
+    Baseline.from_findings(entries).save(str(path_a))
+    Baseline.from_findings(list(reversed(entries))).save(str(path_b))
+    assert path_a.read_bytes() == path_b.read_bytes()
+    assert path_a.read_text().endswith("\n")
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    baseline = Baseline.load(str(tmp_path / "nope.json"))
+    assert baseline.entries == []
+
+
+def test_malformed_baseline_is_a_hard_error(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(LintError, match="unreadable"):
+        Baseline.load(str(path))
+
+
+def test_wrong_version_is_a_hard_error(tmp_path):
+    path = tmp_path / "old.json"
+    path.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(LintError, match="version"):
+        Baseline.load(str(path))
+
+
+def test_malformed_entry_is_a_hard_error(tmp_path):
+    path = tmp_path / "entry.json"
+    path.write_text(json.dumps({"version": 1,
+                                "entries": [{"rule": "D003"}]}))
+    with pytest.raises(LintError, match="malformed baseline entry"):
+        Baseline.load(str(path))
+
+
+# ---------------------------------------------------------------------------
+# Matching semantics
+# ---------------------------------------------------------------------------
+
+def test_moved_finding_still_matches():
+    """The entry matches by (rule, file, context-hash), not line number:
+    code inserted above the finding must not resurface it as new."""
+    baseline = Baseline.from_findings([finding(line=408)])
+    moved = finding(line=455)
+    fresh, matched, stale = baseline.suppress([moved])
+    assert fresh == []
+    assert matched == 1
+    assert stale == 0
+
+
+def test_changed_context_breaks_the_match():
+    baseline = Baseline.from_findings([finding()])
+    edited = finding(context="created_at=datetime.utcnow()")
+    fresh, matched, stale = baseline.suppress([edited])
+    assert fresh == [edited]
+    assert matched == 0
+    assert stale == 1  # the old entry matched nothing
+
+
+def test_different_rule_same_line_does_not_match():
+    baseline = Baseline.from_findings([finding(rule="D003")])
+    other = finding(rule="D005")
+    fresh, _, _ = baseline.suppress([other])
+    assert fresh == [other]
+
+
+def test_matching_is_count_aware():
+    """Two baselined identical lines absorb two findings; a third
+    identical new one still fails."""
+    twice = [finding(line=10), finding(line=20)]
+    baseline = Baseline.from_findings(twice)
+    thrice = [finding(line=10), finding(line=20), finding(line=30)]
+    fresh, matched, stale = baseline.suppress(thrice)
+    assert matched == 2
+    assert stale == 0
+    assert [f.line for f in fresh] == [30]
+
+
+def test_stale_entries_are_counted():
+    baseline = Baseline(entries=[
+        BaselineEntry(rule="D003", file="gone.py", context_hash="0" * 16)])
+    fresh, matched, stale = baseline.suppress([])
+    assert (fresh, matched, stale) == ([], 0, 1)

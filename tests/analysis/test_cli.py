@@ -1,0 +1,145 @@
+"""The ``repro-streamsim lint`` front end: exit codes, JSON, baselines."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+FIXTURES = str(Path(__file__).parent / "fixtures")
+
+DIRTY = "import time\n\nSTAMP = time.time()\n"
+CLEAN = "def double(x):\n    return 2 * x\n"
+
+
+@pytest.fixture()
+def tree(tmp_path, monkeypatch):
+    """A tiny lintable tree; cwd moved there so default baseline paths
+    resolve locally."""
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "dirty.py").write_text(DIRTY)
+    (tmp_path / "clean.py").write_text(CLEAN)
+    return tmp_path
+
+
+# ---------------------------------------------------------------------------
+# Exit codes: 0 clean, 1 findings, 2 usage
+# ---------------------------------------------------------------------------
+
+def test_clean_tree_exits_zero(tree, capsys):
+    assert main(["lint", "clean.py"]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_findings_exit_one(tree, capsys):
+    assert main(["lint", "dirty.py"]) == 1
+    out = capsys.readouterr()
+    assert "dirty.py:3: D003" in out.out
+    assert "1 finding(s)" in out.err
+
+
+def test_unknown_rule_exits_two(tree, capsys):
+    assert main(["lint", "clean.py", "--rule", "Z999"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_path_exits_two(tree, capsys):
+    assert main(["lint", "no-such-dir"]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_unreadable_baseline_exits_two(tree, capsys):
+    (tree / "broken.json").write_text("{not json")
+    assert main(["lint", "dirty.py", "--baseline", "broken.json"]) == 2
+    assert "unreadable" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Rule selection and output formats
+# ---------------------------------------------------------------------------
+
+def test_rule_filter_limits_the_pass(tree):
+    assert main(["lint", "dirty.py", "--rule", "D005"]) == 0
+    assert main(["lint", "dirty.py", "--rule", "D005",
+                 "--rule", "D003"]) == 1
+
+
+def test_json_output_is_parseable(tree, capsys):
+    assert main(["lint", "dirty.py", "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["checked_files"] == 1
+    (finding,) = payload["findings"]
+    assert finding["rule"] == "D003"
+    assert finding["file"] == "dirty.py"
+    assert finding["line"] == 3
+    assert finding["context_hash"]
+    assert payload["suppressed"] == {"baseline": 0, "pragmas": 0}
+
+
+def test_list_rules_prints_the_table(tree, capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("D001", "D005", "P001", "P002", "L001", "L002", "B001"):
+        assert code in out
+
+
+# ---------------------------------------------------------------------------
+# Baseline workflow
+# ---------------------------------------------------------------------------
+
+def test_update_baseline_round_trips(tree, capsys):
+    assert main(["lint", "dirty.py", "--update-baseline"]) == 0
+    assert "1 entry written" in capsys.readouterr().out
+    # The finding is now baselined: clean pass.
+    assert main(["lint", "dirty.py"]) == 0
+    assert "1 baselined" in capsys.readouterr().out
+    # --no-baseline still sees it.
+    assert main(["lint", "dirty.py", "--no-baseline"]) == 1
+    capsys.readouterr()
+    # A *new* violation is not covered by the old baseline.
+    (tree / "dirty.py").write_text(DIRTY + "LATER = time.time()\n")
+    assert main(["lint", "dirty.py"]) == 1
+
+
+def test_baseline_survives_moved_lines(tree, capsys):
+    assert main(["lint", "dirty.py", "--update-baseline"]) == 0
+    (tree / "dirty.py").write_text(
+        "import time\n\n# padding\n# padding\n\nSTAMP = time.time()\n")
+    capsys.readouterr()
+    assert main(["lint", "dirty.py"]) == 0
+
+
+def test_stale_baseline_entries_are_reported(tree, capsys):
+    assert main(["lint", "dirty.py", "--update-baseline"]) == 0
+    (tree / "dirty.py").write_text(CLEAN)
+    capsys.readouterr()
+    assert main(["lint", "dirty.py"]) == 0
+    assert "no longer match" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Self-test mode
+# ---------------------------------------------------------------------------
+
+def test_self_test_passes_on_the_committed_corpus(tmp_path, monkeypatch,
+                                                  capsys):
+    monkeypatch.chdir(tmp_path)  # prove --fixtures needs no repo cwd
+    assert main(["lint", "--self-test", "--fixtures", FIXTURES]) == 0
+    assert "0 failed" in capsys.readouterr().out
+
+
+def test_self_test_fails_on_missing_fixture(tmp_path, monkeypatch, capsys):
+    corpus = tmp_path / "corpus"
+    corpus.mkdir()
+    monkeypatch.chdir(tmp_path)
+    assert main(["lint", "--self-test", "--fixtures", str(corpus)]) == 1
+    assert "missing fixture" in capsys.readouterr().err
+
+
+def test_self_test_without_corpus_exits_two(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(["lint", "--self-test"]) == 2
+    assert "no fixture corpus" in capsys.readouterr().err

@@ -1,0 +1,142 @@
+"""Engine mechanics: pragmas, parsing, file discovery, the registry."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    AnalysisReport,
+    LintError,
+    SourceFile,
+    all_rules,
+    analyze_source,
+    call_name,
+    get_rule,
+    iter_python_files,
+    rule_codes,
+)
+
+
+def make_source(body: str, rel_path: str = "module.py") -> SourceFile:
+    return SourceFile(rel_path, textwrap.dedent(body), rel_path=rel_path)
+
+
+# ---------------------------------------------------------------------------
+# Pragmas
+# ---------------------------------------------------------------------------
+
+def test_pragma_suppresses_exactly_its_line():
+    """Two identical violations; the pragma silences one, not both."""
+    source = make_source("""\
+        import time
+
+
+        def stamp(result):
+            result["a"] = time.time()  # repro: allow[D003]
+            result["b"] = time.time()
+            return result
+        """)
+    report = AnalysisReport()
+    findings = analyze_source(source, [get_rule("D003")], report)
+    assert [f.line for f in findings] == [6]
+    assert report.pragma_suppressed == 1
+
+
+def test_pragma_is_rule_specific():
+    """A pragma for one rule does not silence a different rule's finding
+    on the same line."""
+    source = make_source("""\
+        import time
+
+
+        def stamp(result):
+            result["a"] = time.time()  # repro: allow[D001]
+            return result
+        """)
+    findings = analyze_source(source, [get_rule("D003")])
+    assert [f.rule for f in findings] == ["D003"]
+
+
+def test_pragma_lists_multiple_codes():
+    source = make_source("""\
+        import time
+
+
+        def stamp(result):
+            result["a"] = time.time()  # repro: allow[D001, D003]
+            return result
+        """)
+    assert analyze_source(source, [get_rule("D003")]) == []
+
+
+def test_pragma_codes_parse():
+    source = make_source("x = 1  # repro: allow[D001,L002]\ny = 2\n")
+    assert source.pragma_codes(1) == frozenset({"D001", "L002"})
+    assert source.pragma_codes(2) == frozenset()
+
+
+# ---------------------------------------------------------------------------
+# SourceFile / call_name
+# ---------------------------------------------------------------------------
+
+def test_unparseable_source_is_a_lint_error():
+    with pytest.raises(LintError, match="cannot parse"):
+        make_source("def broken(:\n")
+
+
+def test_call_name_resolves_dotted_chains():
+    tree = ast.parse("np.random.default_rng(0)")
+    call = tree.body[0].value
+    assert call_name(call) == "np.random.default_rng"
+
+
+def test_call_name_empty_for_dynamic_targets():
+    tree = ast.parse("factories[0]()")
+    assert call_name(tree.body[0].value) == ""
+
+
+def test_inside_call_named_sees_wrapping_call():
+    source = make_source("import os\nnames = sorted(os.listdir('.'))\n")
+    listing = next(node for node in ast.walk(source.tree)
+                   if isinstance(node, ast.Call)
+                   and call_name(node) == "os.listdir")
+    assert source.inside_call_named(listing, frozenset({"sorted"}))
+    assert not source.inside_call_named(listing, frozenset({"len"}))
+
+
+# ---------------------------------------------------------------------------
+# File discovery
+# ---------------------------------------------------------------------------
+
+def test_iter_python_files_sorted_and_skips_pycache(tmp_path):
+    (tmp_path / "b.py").write_text("x = 1\n")
+    (tmp_path / "a.py").write_text("x = 1\n")
+    (tmp_path / "note.txt").write_text("not python\n")
+    cache = tmp_path / "__pycache__"
+    cache.mkdir()
+    (cache / "a.cpython-311.pyc.py").write_text("x = 1\n")
+    files = iter_python_files([str(tmp_path)])
+    assert [f.rsplit("/", 1)[-1] for f in files] == ["a.py", "b.py"]
+
+
+def test_iter_python_files_missing_path_is_usage_error():
+    with pytest.raises(LintError, match="no such file"):
+        iter_python_files(["/nonexistent/lint/target"])
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+def test_registry_has_the_documented_rules():
+    assert rule_codes() == ("B001", "D001", "D002", "D003", "D004",
+                            "D005", "L001", "L002", "P001", "P002")
+    assert all(rule.rationale for rule in all_rules())
+
+
+def test_unknown_rule_is_a_lint_error():
+    with pytest.raises(LintError, match="unknown rule"):
+        get_rule("Z999")

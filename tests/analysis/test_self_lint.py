@@ -1,0 +1,46 @@
+"""The repo lints itself: ``repro-streamsim lint`` must stay clean on
+``src/repro`` with the committed baseline — this is the `make lint` gate,
+run from pytest so tier-1 alone already catches a new violation."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import Baseline, analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_source_tree_is_lint_clean():
+    report = analyze_paths([str(REPO_ROOT / "src" / "repro")],
+                           root=str(REPO_ROOT))
+    baseline = Baseline.load(str(REPO_ROOT / "lint-baseline.json"))
+    fresh, _, stale = baseline.suppress(report.findings)
+    assert fresh == [], (
+        "new lint finding(s) — fix them, pragma a reviewed exception "
+        "(# repro: allow[RULE]), or run "
+        "`repro-streamsim lint --update-baseline`:\n"
+        + "\n".join(f.render() for f in fresh))
+    assert stale == 0, (
+        f"{stale} baseline entr{'y' if stale == 1 else 'ies'} no longer "
+        f"match anything — retire them with "
+        f"`repro-streamsim lint --update-baseline`")
+
+
+def test_every_pragma_names_a_real_rule():
+    """A typo'd pragma (`allow[D0003]`) silences nothing and rots — scan
+    every source line's pragma codes against the registry."""
+    from repro.analysis import PRAGMA_RE, rule_codes
+    # "RULE" is the placeholder docs use when *describing* the pragma
+    # syntax (engine module docstring, README) — not a suppression.
+    known = set(rule_codes()) | {"RULE"}
+    offenders = []
+    for path in sorted((REPO_ROOT / "src" / "repro").rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            match = PRAGMA_RE.search(line)
+            if not match:
+                continue
+            codes = {code.strip() for code in match.group(1).split(",")}
+            for code in sorted(codes - known):
+                offenders.append(f"{path}:{lineno}: unknown rule {code!r}")
+    assert offenders == []

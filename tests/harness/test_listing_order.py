@@ -1,0 +1,106 @@
+"""Filesystem-enumeration order must not leak into any output (rule D005
+made lexical; these tests make it behavioral): every listdir/glob/iterdir
+consumer is exercised against a *reversed* directory enumeration and must
+produce byte-identical results."""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.architectures import TestbedConfig
+from repro.harness import ExperimentConfig, ResultCache, ScenarioPoint
+from repro.harness import bench as benchmod
+from repro.harness.cache_admin import (
+    _shard_paths,
+    collect_stats,
+    compact_cache,
+)
+from repro.harness.runner import execute_point
+
+
+@pytest.fixture()
+def reversed_listings(monkeypatch):
+    """Make every directory enumeration come back in reversed order —
+    a worst-case filesystem. Sorted consumers are unaffected."""
+    real_listdir = os.listdir
+    real_glob = glob.glob
+    real_iterdir = pathlib.Path.iterdir
+
+    monkeypatch.setattr(
+        os, "listdir",
+        lambda *a, **k: list(reversed(real_listdir(*a, **k))))
+    monkeypatch.setattr(
+        glob, "glob",
+        lambda *a, **k: list(reversed(real_glob(*a, **k))))
+    monkeypatch.setattr(
+        pathlib.Path, "iterdir",
+        lambda self: iter(reversed(list(real_iterdir(self)))))
+
+
+def tiny_point(seed: int) -> ScenarioPoint:
+    return ScenarioPoint(config=ExperimentConfig(
+        architecture="DTS", workload="Dstream", pattern="work_sharing",
+        num_producers=1, num_consumers=1, messages_per_producer=3,
+        max_sim_time_s=120.0, seed=seed,
+        testbed=TestbedConfig(producer_nodes=2, consumer_nodes=2)))
+
+
+# ---------------------------------------------------------------------------
+# bench snapshots
+# ---------------------------------------------------------------------------
+
+def test_bench_snapshot_listing_ignores_fs_order(tmp_path,
+                                                 reversed_listings):
+    for index in (0, 2, 10):
+        (tmp_path / f"BENCH_{index}.json").write_text("{}")
+    (tmp_path / "notes.txt").write_text("ignored")
+    snapshots = benchmod.list_snapshots(tmp_path)
+    assert [index for index, _ in snapshots] == [0, 2, 10]
+    latest = max(index for index, _ in snapshots)
+    assert latest == 10
+
+
+# ---------------------------------------------------------------------------
+# cache census / compaction
+# ---------------------------------------------------------------------------
+
+def populate(path: str, seeds) -> None:
+    cache = ResultCache(path)
+    result = execute_point(tiny_point(seeds[0]))
+    for seed in seeds:
+        cache.store(ScenarioPoint(config=tiny_point(seed).config), result)
+    cache.save()
+
+
+def stats_snapshot(path: str):
+    stats = collect_stats(path)
+    return (stats.summary(), json.dumps(stats.rows(), sort_keys=True))
+
+
+def test_cache_stats_ignore_fs_order(tmp_path, monkeypatch):
+    path = str(tmp_path / "cache")
+    populate(path, [1, 2, 3])
+    (tmp_path / "cache" / "zz.json.corrupt-0").write_text("junk")
+    expected = stats_snapshot(path)
+    # Re-run the census against reversed enumeration.
+    real_glob = glob.glob
+    monkeypatch.setattr(
+        glob, "glob",
+        lambda *a, **k: list(reversed(real_glob(*a, **k))))
+    assert stats_snapshot(path) == expected
+    assert _shard_paths(path) == sorted(_shard_paths(path))
+
+
+def test_cache_compaction_ignores_fs_order(tmp_path, reversed_listings):
+    path = str(tmp_path / "cache")
+    populate(path, [1, 2, 3])
+    report = compact_cache(path)
+    assert report.entries == 3
+    # The census after compaction is the sorted one.
+    stats = collect_stats(path)
+    assert stats.entries == 3

@@ -160,3 +160,54 @@ def test_generator_headers_carry_workload_name_and_sequence():
 def test_generator_reply_payload_matches_spec():
     gen = WorkloadGenerator(GENERIC)
     assert gen.reply_payload_bytes() == GENERIC.effective_reply_bytes
+
+
+# ---------------------------------------------------------------------------
+# RNG provenance (the lint pass's first real catch: the old
+# `rng or default_rng(0)` fallback collapsed every varying generator onto
+# one hard-coded stream)
+# ---------------------------------------------------------------------------
+
+def test_generator_varying_without_rng_is_an_error():
+    with pytest.raises(ValueError, match="seeded stream"):
+        WorkloadGenerator(DSTREAM, vary_events=True)
+
+
+def test_generator_accepts_a_stream_factory():
+    from repro.simkit.rand import RandomStreams
+    a = WorkloadGenerator(DSTREAM, streams=RandomStreams(7),
+                          vary_events=True)
+    b = WorkloadGenerator(DSTREAM, streams=RandomStreams(7),
+                          vary_events=True)
+    other = WorkloadGenerator(DSTREAM, streams=RandomStreams(8),
+                              vary_events=True)
+    seq_a = [a.next_blueprint().event_count for _ in range(20)]
+    seq_b = [b.next_blueprint().event_count for _ in range(20)]
+    seq_other = [other.next_blueprint().event_count for _ in range(20)]
+    assert seq_a == seq_b           # same root seed, same draws
+    assert seq_a != seq_other       # different root seed diverges
+
+
+def test_generator_rejects_rng_and_streams_together():
+    from repro.simkit.rand import RandomStreams
+    with pytest.raises(ValueError, match="not both"):
+        WorkloadGenerator(DSTREAM, rng=np.random.default_rng(1),
+                          streams=RandomStreams(1))
+
+
+def test_generator_distinct_rngs_draw_distinct_batches():
+    """Two producers with distinct derived streams must not mirror each
+    other (the old fallback made them identical)."""
+    from repro.simkit.rand import RandomStreams
+    streams = RandomStreams(3)
+    gens = [WorkloadGenerator(DSTREAM, rng=streams.stream("workload", rank),
+                              vary_events=True) for rank in range(2)]
+    seqs = [[g.next_blueprint().event_count for _ in range(30)]
+            for g in gens]
+    assert seqs[0] != seqs[1]
+
+
+def test_generator_non_varying_needs_no_rng():
+    gen = WorkloadGenerator(DSTREAM)
+    assert gen.rng is None
+    assert gen.next_blueprint().event_count == 8
