@@ -9,7 +9,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 COVERAGE_FLOOR ?= 85
 
 .PHONY: test lint bench-smoke bench bench-pytest check coverage example \
-	sensitivity-smoke session-smoke population-smoke cache-smoke
+	sensitivity-smoke session-smoke population-smoke cache-smoke \
+	chaos-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -83,6 +84,17 @@ population-smoke:
 		--consumers 2 --producers 2 --messages 4 --population 1000
 	@rm -rf $(POPULATION_SMOKE_CACHE)
 
+# Fast end-to-end smoke for the fault-injection subsystem: a 2-point
+# broker-kill chaos sweep (rate 0 = the fault-free degradation baseline)
+# through the Session API with a result cache.
+CHAOS_SMOKE_CACHE := .chaos-smoke-cache
+chaos-smoke:
+	@rm -rf $(CHAOS_SMOKE_CACHE)
+	$(PYTHON) -m repro.cli chaos --fault broker_kill_rate --rates 0 1 \
+		--architectures DTS --consumers 2 --messages 4 \
+		--cache $(CHAOS_SMOKE_CACHE)
+	@rm -rf $(CHAOS_SMOKE_CACHE)
+
 # Fast end-to-end smoke for the cache lifecycle subsystem: populate a
 # sharded cache with a 2-point sweep, walk it through every `cache`
 # subcommand (stats -> gc -> compact -> snapshot -> rollback), prove the
@@ -111,7 +123,7 @@ cache-smoke:
 	@rm -rf $(CACHE_SMOKE_CACHE)
 
 check: lint test bench-smoke sensitivity-smoke session-smoke \
-	population-smoke cache-smoke
+	population-smoke cache-smoke chaos-smoke
 
 # Coverage gate over the harness (runner/cache/sweep/policy are the layers
 # fault-tolerance lives in).  Skips gracefully where pytest-cov is absent —

@@ -51,6 +51,10 @@ class Broker:
         self._publishes_counter = self.monitor.counter("publishes")
         self.exchanges: dict[str, Exchange] = {}
         self.queues: dict[str, ClassicQueue] = {}
+        #: Fault-injection state: a down broker accepts no publishes and
+        #: loses relayed messages (see :meth:`fail` / :meth:`recover` and
+        #: :mod:`repro.faults`).
+        self.up = True
         # Default exchange ("") routes directly to the queue named by the key.
         self.declare_exchange("", ExchangeType.DIRECT)
 
@@ -83,6 +87,19 @@ class Broker:
         exchange = self.exchanges[exchange_name]
         queue = self.queues[queue_name]
         exchange.bind(queue, binding_key)
+
+    # -- failure state -----------------------------------------------------
+    def fail(self) -> None:
+        """Take this broker down (fault injection / chaos sweeps)."""
+        if self.up:
+            self.up = False
+            self.monitor.count("failures")
+
+    def recover(self) -> None:
+        """Bring this broker back up after a failure."""
+        if not self.up:
+            self.up = True
+            self.monitor.count("recoveries")
 
     # -- memory accounting --------------------------------------------------
     def memory_used(self, *, control: bool = False) -> float:

@@ -146,6 +146,11 @@ class ConsumerClient:
         self.received = 0
         self._pending_acks: dict[str, list[int]] = {}
         self.subscriptions: list[str] = []
+        #: Live consumer tags by queue name (removed while suspended).
+        self._active_tags: dict[str, str] = {}
+        #: Desired subscriptions (queue -> prefetch credit); the resume
+        #: path re-attaches whatever churn suspended.
+        self._desired_prefetch: dict[str, int] = {}
 
     # -- subscription -----------------------------------------------------------
     def _deliver(self, message: Message) -> Generator:
@@ -162,13 +167,50 @@ class ConsumerClient:
 
     def subscribe(self, queue_name: str, *, prefetch: Optional[int] = None) -> str:
         """Attach this consumer to a queue; returns the consumer tag."""
-        tag = f"{self.name}-ctag-{next(_consumer_tags)}"
         credit = self.ack_policy.prefetch_count if prefetch is None else prefetch
-        self.cluster.subscribe(queue_name, tag, self._deliver,
-                               consumer_broker=self.broker, prefetch=credit)
+        tag = self._attach(queue_name, credit)
         self.subscriptions.append(queue_name)
+        self._desired_prefetch[queue_name] = credit
         self.monitor.count("subscriptions")
         return tag
+
+    def _attach(self, queue_name: str, credit: int) -> str:
+        tag = f"{self.name}-ctag-{next(_consumer_tags)}"
+        self.cluster.subscribe(queue_name, tag, self._deliver,
+                               consumer_broker=self.broker, prefetch=credit)
+        self._active_tags[queue_name] = tag
+        return tag
+
+    # -- churn (fault injection) ---------------------------------------------
+    def suspend(self) -> int:
+        """Cancel every active subscription, requeueing unacked deliveries.
+
+        The consumer-churn fault path: the client drops off the queues as
+        if its connection died, and its in-flight deliveries go back for
+        the surviving consumers.  Returns the logical messages requeued.
+        """
+        requeued = 0
+        for queue_name in sorted(self._active_tags):
+            tag = self._active_tags.pop(queue_name)
+            requeued += self.cluster.get_queue(queue_name).cancel(
+                tag, requeue=True)
+        self.monitor.count("churn_suspends")
+        return requeued
+
+    def resume(self) -> int:
+        """Re-attach every subscription dropped by :meth:`suspend`.
+
+        Fresh consumer tags, original prefetch credit.  Returns the number
+        of subscriptions restored.
+        """
+        restored = 0
+        for queue_name in sorted(self._desired_prefetch):
+            if queue_name not in self._active_tags:
+                self._attach(queue_name, self._desired_prefetch[queue_name])
+                restored += 1
+        if restored:
+            self.monitor.count("churn_resumes")
+        return restored
 
     # -- application API -----------------------------------------------------------
     def get(self):

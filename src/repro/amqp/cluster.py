@@ -25,7 +25,7 @@ from ..netsim.message import Message
 from ..netsim.network import Network
 from .broker import Broker
 from .exchange import ExchangeType
-from .policies import DEFAULT_QUEUE_POLICY, QueuePolicy
+from .policies import DEFAULT_QUEUE_POLICY, OverflowPolicy, QueuePolicy
 from .queue import ClassicQueue, ConsumerHandle, PublishOutcome
 
 __all__ = ["BrokerCluster"]
@@ -33,6 +33,11 @@ __all__ = ["BrokerCluster"]
 
 class BrokerCluster:
     """Cluster façade over several :class:`Broker` instances."""
+
+    #: Pause before a failed consumer-side delivery is requeued, so
+    #: redelivery retries against a down broker are paced instead of
+    #: spinning at link latency (fault-injection path only).
+    relay_retry_backoff_s = 0.01
 
     def __init__(self, env: Environment, name: str, brokers: list[Broker],
                  network: Network, *,
@@ -119,19 +124,87 @@ class BrokerCluster:
     def queues(self) -> list[str]:
         return sorted(self._queue_leaders)
 
+    # -- failure state -----------------------------------------------------
+    def kill_broker(self, broker: "Broker | str") -> list[str]:
+        """Take a broker down and fail its queues over to the survivors.
+
+        Models replicated classic queues: each queue led by the victim is
+        re-leadered round-robin onto the live brokers (sorted queue-name
+        order, so failover is deterministic) and its messages move with it.
+        With no survivors the queues stay on the dead broker and publishes
+        fail until :meth:`revive_broker`.  Returns the re-leadered queue
+        names.
+        """
+        if isinstance(broker, str):
+            broker = self.broker_by_name(broker)
+        if not broker.up:
+            return []
+        broker.fail()
+        survivors = [b for b in self.brokers if b.up]
+        moved: list[str] = []
+        if survivors:
+            led = sorted(name for name, leader in self._queue_leaders.items()
+                         if leader is broker)
+            for offset, name in enumerate(led):
+                new_leader = survivors[offset % len(survivors)]
+                new_leader.queues[name] = broker.queues.pop(name)
+                self._queue_leaders[name] = new_leader
+                moved.append(name)
+            if moved:
+                self.monitor.count("failovers", float(len(moved)))
+        return moved
+
+    def revive_broker(self, broker: "Broker | str") -> None:
+        """Bring a failed broker back (queues do not fail back)."""
+        if isinstance(broker, str):
+            broker = self.broker_by_name(broker)
+        broker.recover()
+
+    def _record_down_publish(self, leader_queues: list[str],
+                             multiplicity: int,
+                             outcomes: list[PublishOutcome]) -> None:
+        """Requeue-or-record semantics for a publish whose destination
+        broker is down, keyed per destination queue's overflow policy:
+        reject-publish queues nack (the producer backs off and
+        republishes), drop-head queues — lossy by contract — record the
+        loss and let the producer proceed.  The queue object is re-resolved
+        here: the kill that downed the broker may already have failed the
+        queue over to a survivor while the relay was in flight (the
+        producer's retry then lands on the new leader)."""
+        for queue_name in leader_queues:
+            queue = self._queue_leaders[queue_name].queues[queue_name]
+            if queue.policy.overflow is OverflowPolicy.DROP_HEAD:
+                outcomes.append(PublishOutcome(True, "broker-down-dropped",
+                                               queue_name))
+                self.monitor.count("dropped_broker_down", float(multiplicity))
+            else:
+                outcomes.append(PublishOutcome(False, "broker-down",
+                                               queue_name))
+                self.monitor.count("rejected_broker_down", float(multiplicity))
+
     # -- data plane -----------------------------------------------------------
     def _relay(self, src: Broker, dst: Broker, message: Message) -> Generator:
-        """Move a message across the inter-broker (DSN to DSN) network."""
+        """Move a message across the inter-broker (DSN to DSN) network.
+
+        Returns ``True`` when the message reached ``dst``; ``False`` when
+        the destination broker was down on arrival (the bytes crossed the
+        wire, then died with the node — the mid-relay loss case the caller
+        must resolve per queue policy).
+        """
         if src is dst:
-            return
+            return True
         route = self.network.route(src.host.name, dst.host.name)
         for element in route.links:
             yield from element.traverse(message)
+        if not dst.up:
+            self.monitor.count("relay_failures", float(message.multiplicity))
+            return False
         # The destination host spends CPU receiving the relayed message.
         yield from dst.host.traverse(message)
         self.monitor.count("interbroker_messages", float(message.multiplicity))
         self.monitor.count("interbroker_bytes",
                            message.wire_bytes * message.multiplicity)
+        return True
 
     def publish(self, entry_broker: Broker, message: Message,
                 exchange_name: str, routing_key: str) -> Generator:
@@ -142,6 +215,12 @@ class BrokerCluster:
         returns the list of :class:`PublishOutcome`.
         """
         multiplicity = message.multiplicity
+        if not entry_broker.up:
+            # The client's broker is down: the publish is refused outright
+            # (a dead node cannot even consult its routing table).  The
+            # non-empty nack makes the producer back off and republish.
+            self.monitor.count("entry_broker_down", float(multiplicity))
+            return [PublishOutcome(False, "broker-down", "")]
         queue_names = entry_broker.route(exchange_name, routing_key)
         outcomes: list[PublishOutcome] = []
         # Entry-broker routing cost scales with the logical message count
@@ -161,13 +240,30 @@ class BrokerCluster:
                 continue
             by_leader.setdefault(leader, []).append(queue_name)
         for leader, leader_queues in by_leader.items():
+            if not leader.up:
+                # Known-down leader: no relay is attempted (cluster
+                # membership is shared state), resolve per queue policy.
+                self._record_down_publish(leader_queues, multiplicity,
+                                          outcomes)
+                continue
             if leader is not entry_broker:
-                yield from self._relay(entry_broker, leader, message)
+                delivered = yield from self._relay(entry_broker, leader,
+                                                   message)
+                if not delivered:
+                    # The leader died mid-relay: the copy is lost on the
+                    # floor of the dead node, resolve per queue policy.
+                    self._record_down_publish(leader_queues, multiplicity,
+                                              outcomes)
+                    continue
             for queue_name in leader_queues:
-                queue = leader.queues[queue_name]
-                if not queue.is_control and leader.memory_pressure():
+                # Re-resolved after the relay's yields: a kill-and-revive
+                # during the traversal may have failed the queue over even
+                # though the destination is up again on arrival.
+                current = self._queue_leaders[queue_name]
+                queue = current.queues[queue_name]
+                if not queue.is_control and current.memory_pressure():
                     outcomes.append(PublishOutcome(False, "memory-watermark", queue_name))
-                    leader.monitor.count("blocked_publishes", float(multiplicity))
+                    current.monitor.count("blocked_publishes", float(multiplicity))
                     continue
                 outcomes.append(queue.publish(message))
         self._publishes_counter.value += float(multiplicity)
@@ -186,13 +282,29 @@ class BrokerCluster:
         """
         leader = self.queue_leader(queue_name)
         queue = leader.queues[queue_name]
-        if consumer_broker is None or consumer_broker is leader:
+        if consumer_broker is None:
             return queue.subscribe(tag, deliver, prefetch=prefetch)
 
         def deliver_with_relay(message: Message,
-                               _leader: Broker = leader,
+                               _queue_name: str = queue_name,
                                _consumer_broker: Broker = consumer_broker):
-            yield from self._relay(_leader, _consumer_broker, message)
+            # The leader is looked up per delivery, not captured at
+            # subscribe time: failover may have moved the queue since.
+            current_leader = self._queue_leaders[_queue_name]
+            if current_leader is not _consumer_broker:
+                delivered = yield from self._relay(current_leader,
+                                                   _consumer_broker, message)
+                if not delivered:
+                    # The consumer's broker is down: pace the retry, then
+                    # return the delivery to the queue so it is redelivered
+                    # (to this consumer after recovery, or to a peer).
+                    yield self.env.timeout(self.relay_retry_backoff_s)
+                    tag_ = message.headers.get("delivery_tag")
+                    if tag_ is not None:
+                        # Re-resolve: failover may have moved the queue
+                        # while the relay was in flight.
+                        self.get_queue(_queue_name).nack_requeue(tag_)
+                    return
             yield from deliver(message)
 
         return queue.subscribe(tag, deliver_with_relay, prefetch=prefetch)

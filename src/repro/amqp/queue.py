@@ -160,14 +160,42 @@ class ClassicQueue:
         self._notify()
         return handle
 
-    def cancel(self, tag: str) -> None:
+    def cancel(self, tag: str, *, requeue: bool = False) -> int:
+        """Detach a consumer; optionally requeue its unacked deliveries.
+
+        ``requeue=True`` is the churn/failover path: every delivery the
+        consumer had in flight goes back to the *head* of the queue (in
+        original order) so the surviving consumers pick the work up —
+        at-least-once semantics, like AMQP's basic.cancel + connection
+        loss.  Returns the number of logical messages requeued.
+        """
         handle = self._consumers.pop(tag, None)
-        if handle is not None:
-            handle.active = False
-            try:
-                self._rr_order.remove(tag)
-            except ValueError:
-                pass
+        if handle is None:
+            return 0
+        handle.active = False
+        try:
+            self._rr_order.remove(tag)
+        except ValueError:
+            pass
+        requeued = 0
+        if requeue:
+            # appendleft in reverse delivery order restores queue order.
+            for delivery_tag in reversed(list(handle.unacked_tags)):
+                entry = self._unacked.pop(delivery_tag, None)
+                if entry is None:
+                    continue
+                _, message = entry
+                self._ready.appendleft(message)
+                self._ready_bytes += message.payload_bytes * message.multiplicity
+                self._ready_messages += message.multiplicity
+                self._unacked_messages -= message.multiplicity
+                requeued += message.multiplicity
+            handle.unacked_tags.clear()
+            handle.outstanding = 0
+            if requeued:
+                self.monitor.count("requeued", float(requeued))
+                self._notify()
+        return requeued
 
     @property
     def consumer_count(self) -> int:

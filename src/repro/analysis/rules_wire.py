@@ -32,6 +32,8 @@ WIRE_CLASSES = frozenset({
     "ExecutionPolicy",
     "ExperimentConfig",
     "ExperimentResult",
+    "FaultSpec",
+    "FaultPlan",
     "Session",
     "SerialBackend",
     "ProcessPoolBackend",

@@ -11,6 +11,8 @@ Examples::
         --consumers 1 2 4 8 --jobs 4 --cache sweep-cache
     repro-streamsim sensitivity --axis testbed.link_bandwidth_bps=1e9,10e9,100e9 \
         --axis testbed.dsn_count=1,3,5 --architectures DTS MSS --jobs 4
+    repro-streamsim chaos --fault broker_kill_rate --rates 0 1 2 \
+        --architectures DTS MSS --jobs 4
     repro-streamsim deployment
     repro-streamsim cache stats sweep-cache
     repro-streamsim cache gc sweep-cache --purge-quarantine
@@ -60,9 +62,11 @@ from .core import (
     figure7,
     figure8,
     figure_bandwidth_scaling,
+    figure_chaos_degradation,
     table1_text,
 )
 from .core.study import PAPER_ARCHITECTURES
+from .faults import FAULT_AXES, FaultPlan
 from .harness import (
     ON_ERROR_MODES,
     PAPER_CONSUMER_COUNTS,
@@ -289,6 +293,33 @@ def build_parser() -> argparse.ArgumentParser:
     sensitivity.add_argument("--metric", default="throughput_msgs_per_s",
                              help="result attribute reported per point")
     sensitivity.add_argument("--csv", default=None)
+
+    chaos = sub.add_parser(
+        "chaos", parents=[execution],
+        help="chaos sweep: throughput degradation vs fault rate, per "
+             "architecture (deterministic fault injection)")
+    chaos.add_argument(
+        "--fault", choices=FAULT_AXES, default="broker_kill_rate",
+        help="which fault axis to sweep (default: broker kills with "
+             "queue failover)")
+    chaos.add_argument(
+        "--rates", type=float, nargs="+", default=[0.0, 1.0, 2.0],
+        help="fault-axis values; the first is the degradation baseline "
+             "(rate axes count expected events over the horizon; "
+             "link_degradation/slow_consumer are levels)")
+    chaos.add_argument("--architectures", nargs="+",
+                       default=list(PAPER_ARCHITECTURES))
+    chaos.add_argument("--workload", default="Dstream")
+    chaos.add_argument("--consumers", type=int, default=4)
+    chaos.add_argument("--messages", type=int, default=25)
+    chaos.add_argument("--runs", type=int, default=1)
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument(
+        "--horizon", type=_positive_float, default=None, metavar="SECONDS",
+        help="fault-scheduling window after measurement start (default: "
+             "the FaultPlan default, sized to the full-speed messaging "
+             "window)")
+    chaos.add_argument("--csv", default=None)
 
     bench = sub.add_parser(
         "bench",
@@ -534,6 +565,20 @@ def _cmd_sensitivity(args: argparse.Namespace, session: Session) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace, session: Session) -> int:
+    plan = FaultPlan() if args.horizon is None else FaultPlan(
+        horizon_s=args.horizon)
+    data = figure_chaos_degradation(
+        fault_axis=args.fault, rates=args.rates,
+        architectures=args.architectures, workload=args.workload,
+        consumers=args.consumers, messages_per_producer=args.messages,
+        runs=args.runs, seed=args.seed, plan=plan, session=session)
+    _emit(data.rows, title=data.description, csv_path=args.csv)
+    for sweep in data.sweeps.values():
+        _report_failures(sweep.failures)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Run the benchmark suite: time, snapshot, compare, or profile."""
     from .harness import bench as benchmod
@@ -726,6 +771,7 @@ _COMMANDS = {
     "figure": _cmd_figure,
     "sweep": _cmd_sweep,
     "sensitivity": _cmd_sensitivity,
+    "chaos": _cmd_chaos,
 }
 
 

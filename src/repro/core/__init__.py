@@ -27,6 +27,7 @@ from .figures import (
     figure7,
     figure8,
     figure_bandwidth_scaling,
+    figure_chaos_degradation,
     overhead_summary,
 )
 from .study import (
@@ -59,6 +60,7 @@ __all__ = [
     "figure7",
     "figure8",
     "figure_bandwidth_scaling",
+    "figure_chaos_degradation",
     "overhead_summary",
     "ablation_tunnel_type",
     "ablation_proxy_connections",

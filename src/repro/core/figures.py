@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 import numpy as np
 
 from ..architectures import TestbedConfig
+from ..faults import FAULT_AXES, FaultPlan
 from ..harness import (
     PAPER_CONSUMER_COUNTS,
     ConsumerSweep,
@@ -53,6 +54,7 @@ __all__ = [
     "figure7",
     "figure8",
     "figure_bandwidth_scaling",
+    "figure_chaos_degradation",
     "overhead_summary",
     "ablation_tunnel_type",
     "ablation_proxy_connections",
@@ -400,6 +402,75 @@ def figure_bandwidth_scaling(*, workload: str = "Lstream",
             "feasible": row["feasible"],
             "throughput_msgs_per_s": row["throughput_msgs_per_s"],
             f"speedup_vs_{speeds_gbps[0]:g}gbps": speedup,
+        })
+    return data
+
+
+def figure_chaos_degradation(*, fault_axis: str = "broker_kill_rate",
+                             rates: Sequence[float] = (0.0, 1.0, 2.0),
+                             architectures: Sequence[str] = PAPER_ARCHITECTURES,
+                             workload: str = "Dstream",
+                             consumers: int = 4,
+                             messages_per_producer: int = 25,
+                             runs: int = 1, seed: int = 1,
+                             plan: Optional[FaultPlan] = None,
+                             testbed: Optional[TestbedConfig] = None,
+                             session: Optional[Session] = None,
+                             jobs: Optional[int] = None,
+                             backend: Optional[ExecutionBackend] = None,
+                             cache: Optional["ResultCache"] = None,
+                             policy: Optional[ExecutionPolicy] = None
+                             ) -> FigureData:
+    """Throughput degradation vs fault rate, per architecture (chaos sweep).
+
+    Sweeps one fault axis (default: broker kills) through ``rates`` for
+    every architecture and reports each point's throughput plus its
+    *degradation* — throughput relative to the same architecture at the
+    first (normally fault-free) rate — so the architectures' failure
+    resilience becomes a figure: an architecture whose curve stays near 1.0
+    rides out the chaos, one that collapses does not.  ``plan`` supplies
+    the secondary knobs (downtimes, horizon, weather windows); the swept
+    axis value overrides that plan's primary axis at every point.
+    """
+    if fault_axis not in FAULT_AXES:
+        raise ValueError(f"unknown fault axis {fault_axis!r}; "
+                         f"expected one of {FAULT_AXES}")
+    session = Session.resolve(session, backend=backend, jobs=jobs,
+                              cache=cache, policy=policy,
+                              where="figure_chaos_degradation")
+    base = _base_config(workload, "work_sharing",
+                        messages_per_producer=messages_per_producer,
+                        runs=runs, seed=seed, testbed=testbed,
+                        faults=plan or FaultPlan())
+    base = base.with_consumers(consumers)
+    axis = f"faults.{fault_axis}"
+    sweep = sensitivity_sweep(
+        base,
+        {"architecture": list(architectures), axis: list(rates)},
+        session=session)
+    data = FigureData(
+        figure="chaos",
+        description=f"Throughput degradation vs {fault_axis}, "
+                    f"work sharing ({workload}, {consumers} consumers)")
+    data.sweeps["chaos"] = sweep
+    first_rate = rates[0]
+    for row in sweep.rows("throughput_msgs_per_s"):
+        rate = row.pop(axis)
+        reference = sweep.get(row["architecture"], first_rate)
+        degradation = float("nan")
+        if (reference is not None and reference.feasible
+                and reference.throughput_msgs_per_s):
+            degradation = (row["throughput_msgs_per_s"]
+                           / reference.throughput_msgs_per_s)
+        data.rows.append({
+            "workload": workload,
+            "pattern": "work_sharing",
+            "architecture": row["architecture"],
+            "consumers": consumers,
+            fault_axis: rate,
+            "feasible": row["feasible"],
+            "throughput_msgs_per_s": row["throughput_msgs_per_s"],
+            f"degradation_vs_{first_rate:g}": degradation,
         })
     return data
 

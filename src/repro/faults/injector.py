@@ -1,0 +1,151 @@
+"""Event-scheduled fault injection for one experiment run.
+
+The :class:`FaultInjector` turns a :class:`~repro.faults.spec.FaultPlan`
+into simkit processes: it expands the plan into a deterministic
+:class:`~repro.faults.spec.FaultSpec` timeline (derived RNG streams, sorted
+targets — see :meth:`FaultPlan.expand`) and walks that timeline in one
+driver process, applying each fault and scheduling its recovery.
+
+Fault effects reuse the simulation layer's own failure semantics:
+
+* ``broker_kill`` — :meth:`BrokerCluster.kill_broker` marks the broker
+  down and re-leaders its queues onto the survivors; a revival process
+  brings it back after the configured downtime (queues do not fail back).
+* ``link_flap`` — pushes the link's ``down_until`` horizon forward; frames
+  arriving during the outage wait it out before serializing.
+* ``link_degradation`` — opens a weather window scaling every link's
+  serialization time by ``1 / (1 - degradation)``, then restores it.
+* ``consumer_churn`` — suspends one consumer's subscriptions (its unacked
+  deliveries are requeued for the survivors) and resubscribes it after the
+  downtime, preserving the logical fleet.
+* ``slow_consumer`` — permanently adds processing seconds to the victim
+  consumer apps at measurement start.
+
+The injector is only ever constructed for an *active* plan; inactive plans
+(`faults=None` or the all-zero default) never reach this module, which is
+what keeps the no-fault code path byte-identical to the pre-fault engine.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+from ..simkit import Environment
+from .spec import FaultPlan, FaultSpec
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to one running experiment."""
+
+    def __init__(self, env: Environment, plan: FaultPlan, *, testbed,
+                 consumers: Sequence) -> None:
+        self.env = env
+        self.plan = plan
+        self.testbed = testbed
+        self.cluster = testbed.broker_cluster
+        self.network = testbed.network
+        #: ConsumerApp list in ctx order (deterministic victim indexing).
+        self.consumers = list(consumers)
+        self.schedule: list[FaultSpec] = plan.expand(
+            testbed.streams,
+            brokers=[b.name for b in self.cluster.brokers],
+            links=[link.name for link in self.network.links()],
+            consumers=len(self.consumers))
+        self._links_by_name = {link.name: link
+                               for link in self.network.links()}
+        #: kind -> number of events actually fired (for result.extra).
+        self.fired: dict[str, int] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "FaultInjector":
+        """Start the injection driver (call after the pattern is built)."""
+        if self.schedule:
+            self.env.process(self._drive(), name="fault-injector")
+        return self
+
+    def snapshot(self) -> dict:
+        """Summary recorded into ``RunResult.extra["faults"]``."""
+        return {
+            "plan": self.plan.describe(),
+            "scheduled": len(self.schedule),
+            "fired": {kind: self.fired[kind] for kind in sorted(self.fired)},
+        }
+
+    # -- driver ------------------------------------------------------------
+    def _drive(self) -> Generator:
+        elapsed = 0.0
+        for spec in self.schedule:
+            if spec.time_s > elapsed:
+                yield self.env.timeout(spec.time_s - elapsed)
+                elapsed = spec.time_s
+            self._fire(spec)
+        # A schedule of only t=0 events still needs one yield to be a
+        # well-formed process.
+        yield self.env.timeout(0.0)
+
+    def _fire(self, spec: FaultSpec) -> None:
+        self.fired[spec.kind] = self.fired.get(spec.kind, 0) + 1
+        if spec.kind == "broker_kill":
+            self._kill_broker(spec)
+        elif spec.kind == "link_flap":
+            self._flap_link(spec)
+        elif spec.kind == "link_degradation":
+            self._open_weather_window(spec)
+        elif spec.kind == "consumer_churn":
+            self._churn_consumer(spec)
+        elif spec.kind == "slow_consumer":
+            self._slow_consumer(spec)
+
+    # -- broker kills ------------------------------------------------------
+    def _kill_broker(self, spec: FaultSpec) -> None:
+        broker = self.cluster.broker_by_name(spec.target)
+        if not broker.up:
+            return  # already down from an overlapping kill
+        self.cluster.kill_broker(broker)
+        if spec.duration_s > 0:
+            self.env.process(self._revive_broker(broker, spec.duration_s),
+                             name=f"fault-revive:{broker.name}")
+
+    def _revive_broker(self, broker, downtime_s: float) -> Generator:
+        yield self.env.timeout(downtime_s)
+        self.cluster.revive_broker(broker)
+
+    # -- link weather ------------------------------------------------------
+    def _flap_link(self, spec: FaultSpec) -> None:
+        link = self._links_by_name[spec.target]
+        until = self.env.now + spec.duration_s
+        if until > link.down_until:
+            link.down_until = until
+
+    def _open_weather_window(self, spec: FaultSpec) -> None:
+        slowdown = 1.0 / (1.0 - spec.value)
+        for link in self.network.links():
+            link.slowdown = slowdown
+        if spec.duration_s > 0:
+            self.env.process(self._close_weather_window(spec.duration_s),
+                             name="fault-weather-close")
+
+    def _close_weather_window(self, window_s: float) -> Generator:
+        yield self.env.timeout(window_s)
+        for link in self.network.links():
+            link.slowdown = 1.0
+
+    # -- consumer churn / slowdown ----------------------------------------
+    def _churn_consumer(self, spec: FaultSpec) -> None:
+        app = self.consumers[int(spec.target)]
+        subscriber = app.endpoints.subscriber
+        subscriber.suspend()
+        if spec.duration_s > 0:
+            self.env.process(self._resume_consumer(subscriber,
+                                                   spec.duration_s),
+                             name=f"fault-resume:{app.name}")
+
+    def _resume_consumer(self, subscriber, downtime_s: float) -> Generator:
+        yield self.env.timeout(downtime_s)
+        subscriber.resume()
+
+    def _slow_consumer(self, spec: FaultSpec) -> None:
+        app = self.consumers[int(spec.target)]
+        app.processing_time_s += spec.value

@@ -232,6 +232,34 @@ def _bench_population_sweep() -> float:
     return float(consumed)
 
 
+def _bench_chaos_sweep() -> float:
+    """Fault-injected sweep: the standard point at broker-kill rates 0/1.
+
+    Times the whole chaos machinery — plan expansion, the injector's
+    event-scheduled kills, queue failover, producer backoff through the
+    outage — against the fault-free baseline point sharing the sweep.
+    Both points must still deliver every message (faults degrade, they
+    do not corrupt).
+    """
+    from dataclasses import replace
+
+    from ..faults import FaultPlan
+    from .runner import ScenarioSet
+    from .session import Session
+
+    base = replace(_experiment_config(), faults=FaultPlan())
+    scenarios = ScenarioSet.product(
+        base, {"faults.broker_kill_rate": [0.0, 1.0]})
+    with Session(backend="serial") as session:
+        outcomes = session.run(scenarios)
+    assert len(outcomes) == 2, len(outcomes)
+    assert all(outcome.result.feasible for outcome in outcomes)
+    # 4 producers x 25 messages, at each of the two kill rates.
+    consumed = sum(outcome.result.consumed for outcome in outcomes)
+    assert consumed == 200, consumed
+    return float(consumed)
+
+
 #: Registered benches in execution (and report) order.
 _BENCHES: dict[str, Callable[[], float]] = {
     "simkit_event_loop": _bench_simkit_event_loop,
@@ -242,6 +270,7 @@ _BENCHES: dict[str, Callable[[], float]] = {
     "sweep_end_to_end": _bench_sweep_end_to_end,
     "discrete_clients_point": _bench_discrete_clients_point,
     "population_sweep": _bench_population_sweep,
+    "chaos_sweep": _bench_chaos_sweep,
 }
 
 

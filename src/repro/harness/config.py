@@ -17,6 +17,7 @@ from typing import Optional
 
 from ..amqp import AckPolicy
 from ..architectures import ARCHITECTURES, TestbedConfig
+from ..faults import FaultPlan
 from ..workloads import WORKLOADS
 
 __all__ = ["ExperimentConfig", "PATTERN_NAMES"]
@@ -62,6 +63,10 @@ class ExperimentConfig:
     max_sim_time_s: float = 3600.0
     #: Testbed parameters (link speeds, pool sizes, ack policy...).
     testbed: TestbedConfig = field(default_factory=TestbedConfig)
+    #: Fault-injection plan (chaos axes); ``None`` — and the inactive
+    #: all-zero :class:`~repro.faults.FaultPlan` — is the exact pre-fault
+    #: code path (golden-digest contract).
+    faults: Optional[FaultPlan] = None
     #: Extra keyword arguments forwarded to the architecture factory.
     architecture_options: dict = field(default_factory=dict)
 
@@ -143,10 +148,13 @@ class ExperimentConfig:
         if "ack_policy" in testbed:
             testbed["ack_policy"] = AckPolicy(**testbed["ack_policy"])
         payload["testbed"] = TestbedConfig(**testbed)
+        faults = payload.get("faults")
+        if faults is not None:
+            payload["faults"] = FaultPlan(**faults)
         return cls(**payload)
 
     def describe(self) -> dict:
-        return {
+        info = {
             "architecture": self.architecture,
             "workload": self.workload,
             "pattern": self.pattern,
@@ -157,3 +165,10 @@ class ExperimentConfig:
             "runs": self.runs,
             "seed": self.seed,
         }
+        # Fault coordinates appear only when a plan is present, so
+        # fault-free descriptions (and the tables built from them) keep
+        # their historical columns.
+        if self.faults is not None:
+            for axis, value in self.faults.describe().items():
+                info[f"faults.{axis}"] = value
+        return info

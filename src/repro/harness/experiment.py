@@ -15,6 +15,7 @@ from dataclasses import replace
 from typing import Optional
 
 from ..architectures import DeploymentError, Testbed, make_architecture
+from ..faults import FaultInjector
 from ..metrics import compute_rtt, compute_throughput
 from ..patterns import ExperimentContext, make_pattern
 from ..simkit import AnyOf, Environment
@@ -68,11 +69,22 @@ class Experiment:
 
         pattern.build(ctx)
 
+        # Fault injection only attaches for an *active* plan: ``faults=None``
+        # and the inactive all-zero plan take the exact pre-fault code path
+        # (no RNG draws, no extra events — the golden-digest contract).
+        injector = None
+        if config.faults is not None and config.faults.active:
+            injector = FaultInjector(env, config.faults, testbed=testbed,
+                                     consumers=ctx.consumer_apps).start()
+
         deploy_end = env.now
         deadline = env.timeout(config.max_sim_time_s)
         env.run(until=AnyOf(env, [coordinator.done, deadline]))
 
-        return self._reduce(ctx, base_result, deploy_end)
+        result = self._reduce(ctx, base_result, deploy_end)
+        if injector is not None:
+            result.extra["faults"] = injector.snapshot()
+        return result
 
     # -- helpers -----------------------------------------------------------
     def _attach_endpoints(self, ctx: ExperimentContext) -> None:

@@ -36,10 +36,18 @@ class PointFailure:
     #: Worker traceback text from the last attempt.
     error: str = ""
     attempts: int = 1
+    #: Full point coordinates (``ScenarioPoint.describe()``: the swept axes
+    #: plus the config's own coordinates, incl. ``population`` and
+    #: ``faults.*``), so a chaos sweep's dead points are attributable
+    #: without re-running.
+    coordinates: dict = field(default_factory=dict)
 
     def as_row(self) -> dict:
         last_line = self.error.strip().splitlines()[-1] if self.error else ""
-        return {"architecture": self.label, **self.axes,
+        extras = {key: value for key, value in self.coordinates.items()
+                  if key not in ("label", "kind", "architecture")
+                  and key not in self.axes}
+        return {"architecture": self.label, **self.axes, **extras,
                 "attempts": self.attempts, "error": last_line}
 
 

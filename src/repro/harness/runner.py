@@ -61,6 +61,7 @@ from typing import (
 )
 
 from ..architectures import Testbed, make_architecture
+from ..faults import FaultPlan
 from ..simkit import Environment
 from .config import ExperimentConfig
 from .results import ExperimentResult
@@ -432,6 +433,12 @@ class ScenarioSet:
         if "architecture" in names:  # architecture-major, like grid
             names.remove("architecture")
             names.insert(0, "architecture")
+        # ``faults.*`` axes need a plan object to walk into: give a
+        # fault-free base the inactive default plan (byte-identical to
+        # ``faults=None``) so chaos axes sweep like any other dotted path.
+        if base.faults is None and any(
+                name.split(".", 1)[0] == "faults" for name in names):
+            base = replace(base, faults=FaultPlan())
         ordered: dict[str, list] = {}
         for name in names:
             values = axes[name]

@@ -58,7 +58,8 @@ class SweepResult:
     def record_failure(self, outcome: PointOutcome) -> None:
         self.failures.append(PointFailure(
             label=outcome.point.label, axes=dict(outcome.point.axes),
-            error=outcome.error or "", attempts=outcome.attempts))
+            error=outcome.error or "", attempts=outcome.attempts,
+            coordinates=outcome.point.describe()))
 
     def series(self, architecture: str, metric: str = "throughput_msgs_per_s"
                ) -> list[tuple[int, float]]:
@@ -203,7 +204,8 @@ class SensitivitySweep:
         if not outcome.ok:
             self.failures.append(PointFailure(
                 label=outcome.point.label, axes=dict(outcome.point.axes),
-                error=outcome.error or "", attempts=outcome.attempts))
+                error=outcome.error or "", attempts=outcome.attempts,
+                coordinates=outcome.point.describe()))
             return
         self.results[self.coordinates(outcome.point.axes)] = outcome.result
 

@@ -54,6 +54,13 @@ class Link:
         #: Serialization resource: one frame on the wire at a time.
         self._wire = Resource(env, capacity=1)
         self._busy_time = 0.0
+        #: Fault-injection state (see :mod:`repro.faults`): the link is
+        #: down until this simulated time (0 = up), and serialization is
+        #: scaled by ``slowdown`` (1.0 = nominal).  The defaults add no
+        #: events and change no floats, so fault-free runs stay
+        #: byte-identical to the pre-fault engine.
+        self.down_until = 0.0
+        self.slowdown = 1.0
 
     # -- behaviour -----------------------------------------------------------
     def serialization_delay(self, nbytes: float) -> float:
@@ -80,9 +87,15 @@ class Link:
         """
         arrived = self.env.now
         multiplicity = message.multiplicity
+        if self.down_until > self.env.now:
+            # Link-flap outage: frames wait for the link to come back
+            # before contending for the wire (guarded so fault-free runs
+            # schedule no extra event).
+            yield self.env.timeout(self.down_until - self.env.now)
         with self._wire.request() as grant:
             yield grant
-            tx = self.serialization_delay(message.wire_bytes) * multiplicity
+            tx = (self.serialization_delay(message.wire_bytes)
+                  * multiplicity * self.slowdown)
             self._busy_time += tx
             yield self.env.timeout(tx)
         yield self.env.timeout(self.propagation_delay())

@@ -112,6 +112,16 @@ class Network:
                                  latency_s=latency_s, jitter_s=jitter_s, rng=rng)
         return forward, backward
 
+    def links(self) -> list[Link]:
+        """Every directed link, sorted by (src, dst) name.
+
+        The sorted order makes link listings a pure function of the
+        topology, so fault injection can pick targets deterministically.
+        """
+        return [self._adjacency[src][dst]
+                for src in sorted(self._adjacency)
+                for dst in sorted(self._adjacency[src])]
+
     def link_between(self, src: str, dst: str) -> Link:
         try:
             return self._adjacency[src][dst]

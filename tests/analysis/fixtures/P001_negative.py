@@ -17,3 +17,15 @@ class Helper:
     def __init__(self):
         # Not a wire class: lambdas here are somebody else's problem.
         self.fn = lambda x: x
+
+
+class FaultPlan:
+    def __init__(self, horizon_s):
+        self.horizon_s = horizon_s
+        self.broker_kill_rate = 0.0
+
+
+class FaultSpec:
+    def __init__(self, kind, time_s):
+        self.kind = kind
+        self.time_s = time_s

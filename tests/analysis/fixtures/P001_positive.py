@@ -5,3 +5,11 @@ class Session:
     def __init__(self, path):
         self.on_result = lambda outcome: outcome
         self.log = open(path, "w")
+
+
+class FaultPlan:
+    def __init__(self, path):
+        # Fault plans ride on ExperimentConfig across backends; an open
+        # handle or callback field breaks that.
+        self.trace = open(path, "w")
+        self.on_fire = lambda spec: spec
